@@ -1,0 +1,201 @@
+// Benchmark harness: one testing.B per table and figure of the paper's
+// evaluation. Each benchmark regenerates its experiment at a reduced scale
+// (QuickOptions: 10 benchmarks, 120k-instruction windows) and reports the
+// headline metrics via b.ReportMetric, printing the full rows once in
+// verbose mode. cmd/mcdbench and cmd/mcdsweep run the full-scale versions
+// that EXPERIMENTS.md records.
+package mcd_test
+
+import (
+	"sync"
+	"testing"
+
+	"mcd/internal/bench"
+	"mcd/internal/clock"
+	"mcd/internal/hw"
+)
+
+// comparisons are expensive; share one matrix across the Table 6, Figure 4
+// and headline benchmarks.
+var (
+	compOnce sync.Once
+	compRows []bench.Comparison
+)
+
+func comparisons() []bench.Comparison {
+	compOnce.Do(func() {
+		compRows = bench.QuickOptions().RunAll()
+	})
+	return compRows
+}
+
+func BenchmarkTable1Config(b *testing.B) {
+	var s string
+	for i := 0; i < b.N; i++ {
+		s = bench.Table1()
+	}
+	if len(s) == 0 {
+		b.Fatal("empty table")
+	}
+}
+
+func BenchmarkTable2Params(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = bench.Table2()
+	}
+}
+
+func BenchmarkTable3Gates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = bench.Table3()
+	}
+	b.ReportMetric(float64(hw.GatesPerDomain()), "gates/domain")
+	b.ReportMetric(float64(hw.TotalGates(4)), "gates-total")
+}
+
+func BenchmarkTable4Arch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = bench.Table4()
+	}
+}
+
+func BenchmarkTable5Benchmarks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = bench.Table5()
+	}
+}
+
+func BenchmarkTable6Comparison(b *testing.B) {
+	cs := comparisons()
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = bench.Table6(cs)
+	}
+	b.StopTimer()
+	ad := summaryOf(cs, "ad")
+	b.ReportMetric(ad.PerfDegradation*100, "AD-perfdeg-%")
+	b.ReportMetric(ad.EnergySavings*100, "AD-energysav-%")
+	b.ReportMetric(ad.EDPImprovement*100, "AD-edp-%")
+	if testing.Verbose() {
+		b.Log("\n" + out)
+	}
+}
+
+func summaryOf(cs []bench.Comparison, which string) (s struct {
+	PerfDegradation, EnergySavings, EDPImprovement float64
+}) {
+	n := float64(len(cs))
+	for _, c := range cs {
+		var r = c.AD
+		if which == "dyn1" {
+			r = c.Dyn1
+		}
+		s.PerfDegradation += (r.TimePS/c.MCDBase.TimePS - 1) / n
+		s.EnergySavings += (1 - r.EnergyPJ/c.MCDBase.EnergyPJ) / n
+		s.EDPImprovement += (1 - r.EDP()/c.MCDBase.EDP()) / n
+	}
+	return s
+}
+
+func BenchmarkFig4PerApplication(b *testing.B) {
+	cs := comparisons()
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = bench.Fig4(cs)
+	}
+	b.StopTimer()
+	if testing.Verbose() {
+		b.Log("\n" + out)
+	}
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	cs := comparisons()
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = bench.Headline(cs)
+	}
+	b.StopTimer()
+	if testing.Verbose() {
+		b.Log("\n" + out)
+	}
+}
+
+func BenchmarkFig2LoadStoreTrace(b *testing.B) {
+	to := bench.TraceOptions{Options: bench.QuickOptions()}
+	to.Window = 150_000
+	to.Warmup = 20_000
+	var csv string
+	for i := 0; i < b.N; i++ {
+		res, err := to.Trace()
+		if err != nil {
+			b.Fatal(err)
+		}
+		csv = bench.FigureCSV(res, clock.LoadStore)
+	}
+	if len(csv) == 0 {
+		b.Fatal("empty trace")
+	}
+}
+
+func BenchmarkFig3FloatingPointTrace(b *testing.B) {
+	to := bench.TraceOptions{Options: bench.QuickOptions()}
+	to.Window = 150_000
+	to.Warmup = 20_000
+	var res struct{ avgFP float64 }
+	for i := 0; i < b.N; i++ {
+		r, err := to.Trace()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.avgFP = r.AvgFreqMHz[clock.FloatingPoint]
+	}
+	b.ReportMetric(res.avgFP, "FP-avg-MHz")
+}
+
+func sweepBench(b *testing.B, run func(bench.Options) []bench.SweepPoint, metric string) {
+	b.Helper()
+	o := bench.QuickOptions()
+	o.Benchmarks = []string{"adpcm", "gzip", "power", "mcf"}
+	var pts []bench.SweepPoint
+	for i := 0; i < b.N; i++ {
+		pts = run(o)
+	}
+	if len(pts) == 0 {
+		b.Fatal("no sweep points")
+	}
+	best := pts[0].Summary.EDPImprovement
+	for _, p := range pts {
+		if p.Summary.EDPImprovement > best {
+			best = p.Summary.EDPImprovement
+		}
+	}
+	b.ReportMetric(best*100, metric)
+}
+
+func BenchmarkFig5TargetSweep(b *testing.B) {
+	sweepBench(b, func(o bench.Options) []bench.SweepPoint {
+		return o.SweepTarget([]float64{0.02, 0.06, 0.10})
+	}, "best-EDP-%")
+}
+
+func BenchmarkFig6aDecaySweep(b *testing.B) {
+	sweepBench(b, func(o bench.Options) []bench.SweepPoint {
+		return o.SweepDecay([]float64{0.0005, 0.0075, 0.02})
+	}, "best-EDP-%")
+}
+
+func BenchmarkFig6bReactionSweep(b *testing.B) {
+	sweepBench(b, func(o bench.Options) []bench.SweepPoint {
+		return o.SweepReaction([]float64{0.01, 0.06, 0.155})
+	}, "best-EDP-%")
+}
+
+func BenchmarkFig6cDeviationSweep(b *testing.B) {
+	sweepBench(b, func(o bench.Options) []bench.SweepPoint {
+		return o.SweepDeviation([]float64{0.005, 0.0175, 0.025})
+	}, "best-EDP-%")
+}

@@ -1,0 +1,82 @@
+// Command mcdbench regenerates the paper's tables and the Figure 4 series.
+//
+// Usage:
+//
+//	mcdbench -exp table6           # full Table 6 over all 30 benchmarks
+//	mcdbench -exp fig4 -quick      # Figure 4 on the 10-benchmark subset
+//	mcdbench -exp headline
+//	mcdbench -exp table1|table2|table3|table4|table5   # static tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mcd/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "headline", "experiment: table1..table6, fig4, headline, all")
+		quick  = flag.Bool("quick", false, "reduced scale (subset of benchmarks, shorter windows)")
+		window = flag.Uint64("window", 0, "override measured instructions per run")
+		warmup = flag.Uint64("warmup", 0, "override warmup instructions per run")
+		benchF = flag.String("bench", "", "comma-separated benchmark filter")
+		quiet  = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	opts := bench.DefaultOptions()
+	if *quick {
+		opts = bench.QuickOptions()
+	}
+	if *window != 0 {
+		opts.Window = *window
+	}
+	if *warmup != 0 {
+		opts.Warmup = *warmup
+	}
+	if *benchF != "" {
+		opts.Benchmarks = strings.Split(*benchF, ",")
+	}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+
+	static := map[string]func() string{
+		"table1": bench.Table1, "table2": bench.Table2, "table3": bench.Table3,
+		"table4": bench.Table4, "table5": bench.Table5,
+	}
+	if f, ok := static[*exp]; ok {
+		fmt.Print(f())
+		return
+	}
+
+	switch *exp {
+	case "table6", "fig4", "headline", "all":
+		cs := opts.RunAll()
+		switch *exp {
+		case "table6":
+			fmt.Print(bench.Table6(cs))
+		case "fig4":
+			fmt.Print(bench.Fig4(cs))
+		case "headline":
+			fmt.Print(bench.Headline(cs))
+		case "all":
+			for _, f := range []string{"table1", "table2", "table3", "table4", "table5"} {
+				fmt.Print(static[f]())
+				fmt.Println()
+			}
+			fmt.Print(bench.Table6(cs))
+			fmt.Println()
+			fmt.Print(bench.Fig4(cs))
+			fmt.Println()
+			fmt.Print(bench.Headline(cs))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "mcdbench: unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,85 @@
+// Command mcdsim runs a single benchmark under one configuration and
+// prints the measurements.
+//
+// Usage:
+//
+//	mcdsim -bench mcf -config attack-decay -window 400000 -warmup 200000
+//
+// Configurations: sync (fully synchronous 1 GHz), mcd (baseline MCD, all
+// domains at maximum), attack-decay (the paper's on-line algorithm),
+// dynamic-1 / dynamic-5 (off-line comparators).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcd"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "epic.decode", "benchmark name (see mcdbench -exp table5)")
+		config    = flag.String("config", "attack-decay", "sync | mcd | attack-decay | dynamic-1 | dynamic-5")
+		window    = flag.Uint64("window", 400_000, "measured instructions")
+		warmup    = flag.Uint64("warmup", 200_000, "warmup instructions")
+		interval  = flag.Uint64("interval", 1000, "controller sampling interval (instructions)")
+		slew      = flag.Float64("slew", 4.91, "regulator slew in ns/MHz (paper scale: 49.1)")
+	)
+	flag.Parse()
+
+	bench, ok := mcd.LookupBenchmark(*benchName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mcdsim: unknown benchmark %q\n", *benchName)
+		os.Exit(1)
+	}
+	cfg := mcd.DefaultConfig()
+	cfg.SlewNsPerMHz = *slew
+	spec := mcd.Spec{
+		Config:         cfg,
+		Profile:        bench.Profile,
+		Window:         *window,
+		Warmup:         *warmup,
+		IntervalLength: *interval,
+		Name:           *config,
+	}
+
+	var res mcd.Result
+	switch *config {
+	case "sync":
+		res = mcd.RunSynchronousAt(cfg, bench.Profile, *window, *warmup, 1000, "sync")
+	case "mcd":
+		res = mcd.Run(spec)
+	case "attack-decay":
+		spec.Controller = mcd.NewAttackDecay(mcd.DefaultParams())
+		res = mcd.Run(spec)
+	case "dynamic-1", "dynamic-5":
+		target := 0.01
+		if *config == "dynamic-5" {
+			target = 0.05
+		}
+		ctrl, _ := mcd.BuildOffline(cfg, bench.Profile, *window, mcd.OfflineOptions{
+			TargetDeg: target, Warmup: *warmup,
+		})
+		spec.Controller = ctrl
+		spec.InitialFreqMHz = ctrl.Initial()
+		res = mcd.Run(spec)
+	default:
+		fmt.Fprintf(os.Stderr, "mcdsim: unknown config %q\n", *config)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark    %s (%s)\n", bench.Name, bench.Suite)
+	fmt.Printf("config       %s\n", *config)
+	fmt.Printf("instructions %d\n", res.Instructions)
+	fmt.Printf("time         %.3f µs\n", res.TimePS/1e6)
+	fmt.Printf("CPI (1 GHz)  %.4f\n", res.CPI())
+	fmt.Printf("energy       %.3f µJ (EPI %.1f pJ)\n", res.EnergyPJ/1e6, res.EPI())
+	fmt.Printf("power        %.3f W\n", res.PowerW())
+	fmt.Printf("branch acc   %.2f%%   L1D miss %.2f%%   L2 miss %.2f%%\n",
+		res.BranchAccuracy*100, res.L1DMissRate*100, res.L2MissRate*100)
+	fmt.Printf("avg freq MHz fe=%.0f int=%.0f fp=%.0f ls=%.0f (transitions %d)\n",
+		res.AvgFreqMHz[mcd.FrontEnd], res.AvgFreqMHz[mcd.Integer],
+		res.AvgFreqMHz[mcd.FloatingPoint], res.AvgFreqMHz[mcd.LoadStore], res.Transitions)
+}

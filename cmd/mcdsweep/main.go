@@ -1,0 +1,60 @@
+// Command mcdsweep regenerates the sensitivity figures: Figure 5
+// (performance-degradation target), Figures 6/7 (Decay, ReactionChange,
+// DeviationThreshold sensitivity), printing one row per swept value with
+// the suite-averaged metrics.
+//
+// Usage:
+//
+//	mcdsweep -param target     # Figure 5
+//	mcdsweep -param decay      # Figures 6a / 7a
+//	mcdsweep -param reaction   # Figures 6b / 7b
+//	mcdsweep -param deviation  # Figures 6c / 7c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mcd/internal/bench"
+)
+
+func main() {
+	var (
+		param  = flag.String("param", "target", "target | decay | reaction | deviation")
+		quick  = flag.Bool("quick", true, "reduced scale (10-benchmark subset)")
+		benchF = flag.String("bench", "", "comma-separated benchmark filter")
+		quiet  = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	opts := bench.DefaultOptions()
+	if *quick {
+		opts = bench.QuickOptions()
+	}
+	if *benchF != "" {
+		opts.Benchmarks = strings.Split(*benchF, ",")
+	}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+
+	switch *param {
+	case "target":
+		pts := opts.SweepTarget(nil)
+		fmt.Print(bench.FormatSweep("Figure 5: performance degradation target (1.000_06.0_1.250_X.X)", "target", pts))
+	case "decay":
+		pts := opts.SweepDecay(nil)
+		fmt.Print(bench.FormatSweep("Figures 6a/7a: Decay sensitivity (1.500_04.0_X.XXX_3.0)", "decay", pts))
+	case "reaction":
+		pts := opts.SweepReaction(nil)
+		fmt.Print(bench.FormatSweep("Figures 6b/7b: ReactionChange sensitivity (1.500_XX.X_0.750_3.0)", "reaction", pts))
+	case "deviation":
+		pts := opts.SweepDeviation(nil)
+		fmt.Print(bench.FormatSweep("Figures 6c/7c: DeviationThreshold sensitivity (X.XXX_06.0_0.175_2.5)", "deviation", pts))
+	default:
+		fmt.Fprintf(os.Stderr, "mcdsweep: unknown parameter %q\n", *param)
+		os.Exit(1)
+	}
+}

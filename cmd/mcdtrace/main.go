@@ -1,0 +1,56 @@
+// Command mcdtrace emits the per-interval traces behind Figures 2 and 3:
+// queue utilization, utilization difference, and domain frequency for one
+// domain of one benchmark under Attack/Decay control, as CSV on stdout.
+//
+// Usage:
+//
+//	mcdtrace -bench epic.decode -domain fp   # Figure 3
+//	mcdtrace -bench epic.decode -domain ls   # Figure 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcd/internal/bench"
+	"mcd/internal/clock"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "epic.decode", "benchmark name")
+		domain    = flag.String("domain", "fp", "domain to trace: int | fp | ls")
+		window    = flag.Uint64("window", 500_000, "measured instructions")
+		warmup    = flag.Uint64("warmup", 100_000, "warmup instructions")
+		interval  = flag.Uint64("interval", 1000, "sampling interval (instructions)")
+	)
+	flag.Parse()
+
+	var d clock.Domain
+	switch *domain {
+	case "int":
+		d = clock.Integer
+	case "fp":
+		d = clock.FloatingPoint
+	case "ls":
+		d = clock.LoadStore
+	default:
+		fmt.Fprintf(os.Stderr, "mcdtrace: unknown domain %q (want int, fp or ls)\n", *domain)
+		os.Exit(1)
+	}
+
+	opts := bench.DefaultOptions()
+	opts.Window = *window
+	opts.Warmup = *warmup
+	opts.IntervalLength = *interval
+	to := bench.TraceOptions{Options: opts, Benchmark: *benchName}
+	res, err := to.Trace()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcdtrace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mcdtrace: %s, %d intervals, avg %s freq %.0f MHz\n",
+		*benchName, len(res.Intervals), *domain, res.AvgFreqMHz[d])
+	fmt.Print(bench.FigureCSV(res, d))
+}

@@ -1,0 +1,72 @@
+// customcontroller plugs a user-defined control algorithm into the
+// simulator through the public Controller interface, and races it against
+// the paper's Attack/Decay on the same workload.
+//
+// The custom policy is a simple occupancy proportional controller: each
+// domain's frequency is set proportional to how full its issue queue is.
+// It reacts faster than Attack/Decay but, lacking the attack/decay
+// asymmetry and the IPC guard, it trades more performance for its energy.
+package main
+
+import (
+	"fmt"
+
+	"mcd"
+)
+
+// proportional implements mcd.Controller.
+type proportional struct {
+	capOf [mcd.NumControllable]float64
+}
+
+func newProportional() *proportional {
+	p := &proportional{}
+	cfg := mcd.DefaultConfig()
+	p.capOf[mcd.Integer] = float64(cfg.IntIQSize)
+	p.capOf[mcd.FloatingPoint] = float64(cfg.FPIQSize)
+	p.capOf[mcd.LoadStore] = float64(cfg.LSQSize)
+	return p
+}
+
+func (p *proportional) Name() string { return "proportional" }
+
+func (p *proportional) Observe(iv mcd.IntervalView) [mcd.NumControllable]float64 {
+	var targets [mcd.NumControllable]float64
+	targets[mcd.FrontEnd] = 1000 // pinned, like the paper
+	for _, d := range []mcd.Domain{mcd.Integer, mcd.FloatingPoint, mcd.LoadStore} {
+		fill := iv.QueueAvg[d] / p.capOf[d] // 0..1 occupancy
+		f := 250 + fill*3*(1000-250)        // full at 1/3 occupancy
+		if f > 1000 {
+			f = 1000
+		}
+		targets[d] = f
+	}
+	return targets
+}
+
+func main() {
+	bench, _ := mcd.LookupBenchmark("jpeg")
+	cfg := mcd.DefaultConfig()
+	cfg.SlewNsPerMHz = 4.91
+	spec := mcd.Spec{
+		Config: cfg, Profile: bench.Profile,
+		Window: 300_000, Warmup: 150_000, IntervalLength: 1000,
+	}
+
+	base := mcd.Run(spec)
+
+	spec.Controller = newProportional()
+	spec.Name = "proportional"
+	prop := mcd.Run(spec)
+
+	spec.Controller = mcd.NewAttackDecay(mcd.DefaultParams())
+	spec.Name = "attack-decay"
+	ad := mcd.Run(spec)
+
+	fmt.Printf("%-14s %9s %11s %11s\n", "controller", "perf-deg", "energy-sav", "EDP-improv")
+	for _, r := range []mcd.Result{prop, ad} {
+		c := mcd.Compare(r, base)
+		fmt.Printf("%-14s %8.1f%% %10.1f%% %10.1f%%\n",
+			r.Config, c.PerfDegradation*100, c.EnergySavings*100, c.EDPImprovement*100)
+	}
+}

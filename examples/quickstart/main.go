@@ -1,0 +1,43 @@
+// Quickstart: run the Attack/Decay algorithm on one benchmark and compare
+// it against the baseline MCD processor (all domains at 1 GHz).
+package main
+
+import (
+	"fmt"
+
+	"mcd"
+)
+
+func main() {
+	bench, ok := mcd.LookupBenchmark("gzip")
+	if !ok {
+		panic("gzip missing from catalog")
+	}
+
+	cfg := mcd.DefaultConfig()
+	cfg.SlewNsPerMHz = 4.91 // compressed time scale for the scaled window
+	spec := mcd.Spec{
+		Config:         cfg,
+		Profile:        bench.Profile,
+		Window:         300_000,
+		Warmup:         150_000,
+		IntervalLength: 1000,
+		Name:           "mcd-baseline",
+	}
+
+	base := mcd.Run(spec)
+
+	spec.Controller = mcd.NewAttackDecay(mcd.DefaultParams())
+	spec.Name = "attack-decay"
+	ad := mcd.Run(spec)
+
+	c := mcd.Compare(ad, base)
+	fmt.Printf("benchmark            %s (%s)\n", bench.Name, bench.Suite)
+	fmt.Printf("baseline             CPI %.3f, EPI %.1f pJ\n", base.CPI(), base.EPI())
+	fmt.Printf("attack/decay         CPI %.3f, EPI %.1f pJ\n", ad.CPI(), ad.EPI())
+	fmt.Printf("perf degradation     %+.1f%%\n", c.PerfDegradation*100)
+	fmt.Printf("energy savings       %+.1f%%\n", c.EnergySavings*100)
+	fmt.Printf("EDP improvement      %+.1f%%\n", c.EDPImprovement*100)
+	fmt.Printf("avg domain freq MHz  int=%.0f fp=%.0f ls=%.0f\n",
+		ad.AvgFreqMHz[mcd.Integer], ad.AvgFreqMHz[mcd.FloatingPoint], ad.AvgFreqMHz[mcd.LoadStore])
+}

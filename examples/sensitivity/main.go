@@ -1,0 +1,45 @@
+// sensitivity sweeps the Decay parameter on a small benchmark subset —
+// a miniature of the paper's Figure 6(a)/7(a) analysis — showing the
+// inverted-U shape: too little decay leaves energy on the table, too much
+// degrades performance.
+package main
+
+import (
+	"fmt"
+
+	"mcd"
+)
+
+func main() {
+	names := []string{"adpcm", "gzip", "power"}
+	cfg := mcd.DefaultConfig()
+	cfg.SlewNsPerMHz = 4.91
+
+	run := func(prof mcd.Profile, ctrl mcd.Controller, name string) mcd.Result {
+		return mcd.Run(mcd.Spec{
+			Config: cfg, Profile: prof,
+			Window: 200_000, Warmup: 100_000, IntervalLength: 1000,
+			Controller: ctrl, Name: name,
+		})
+	}
+
+	fmt.Println("Decay sensitivity (miniature Figure 6a): suite-average vs MCD baseline")
+	fmt.Println("decay     perf-deg  energy-sav  EDP-improv")
+	for _, decay := range []float64{0.0005, 0.00175, 0.0075, 0.02} {
+		var cs []mcd.Comparison
+		for _, n := range names {
+			bench, ok := mcd.LookupBenchmark(n)
+			if !ok {
+				panic("missing benchmark " + n)
+			}
+			base := run(bench.Profile, nil, "base")
+			p := mcd.DefaultParams()
+			p.Decay = decay
+			res := run(bench.Profile, mcd.NewAttackDecay(p), "ad")
+			cs = append(cs, mcd.Compare(res, base))
+		}
+		s := mcd.Summarize(cs)
+		fmt.Printf("%6.3f%%  %7.1f%%  %9.1f%%  %9.1f%%\n",
+			decay*100, s.PerfDegradation*100, s.EnergySavings*100, s.EDPImprovement*100)
+	}
+}

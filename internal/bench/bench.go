@@ -1,0 +1,274 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Tables 1–6, Figures 2–7) on the
+// synthetic-workload substrate, printing the same rows and series the
+// paper reports. See DESIGN.md for the per-experiment index and
+// EXPERIMENTS.md for paper-vs-measured results.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"mcd/internal/clock"
+	"mcd/internal/core"
+	"mcd/internal/pipeline"
+	"mcd/internal/sim"
+	"mcd/internal/stats"
+	"mcd/internal/workload"
+)
+
+// Options scales the experiments. The paper simulates 50–400 M
+// instructions per benchmark; these runs are scaled down (DESIGN.md,
+// "time-scale compression"): the control interval and regulator slew are
+// shrunk with the window so each run spans a paper-like number of control
+// intervals.
+type Options struct {
+	Window         uint64  // measured instructions per run
+	Warmup         uint64  // cache/predictor warmup instructions
+	IntervalLength uint64  // controller sampling period
+	SlewNsPerMHz   float64 // regulator slew (compressed with the interval)
+	Params         core.Params
+	OfflineIters   int
+	// Benchmarks filters the catalog by name; empty means all 30.
+	Benchmarks []string
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+}
+
+// DefaultOptions returns the full-scale configuration used for
+// EXPERIMENTS.md.
+func DefaultOptions() Options {
+	return Options{
+		Window:         400_000,
+		Warmup:         200_000,
+		IntervalLength: 1_000,
+		SlewNsPerMHz:   4.91,
+		Params:         core.DefaultParams(),
+		OfflineIters:   5,
+	}
+}
+
+// QuickOptions returns a reduced scale suitable for `go test -bench`.
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.Window = 120_000
+	o.Warmup = 60_000
+	o.IntervalLength = 500
+	o.OfflineIters = 3
+	o.Benchmarks = []string{
+		"adpcm", "epic", "mesa", "em3d", "mcf", "power",
+		"gzip", "vortex", "art", "swim",
+	}
+	return o
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format, args...)
+	}
+}
+
+func (o Options) config() pipeline.Config {
+	cfg := pipeline.DefaultConfig()
+	cfg.SlewNsPerMHz = o.SlewNsPerMHz
+	return cfg
+}
+
+func (o Options) catalog() []workload.Benchmark {
+	all := workload.Catalog()
+	if len(o.Benchmarks) == 0 {
+		return all
+	}
+	want := map[string]bool{}
+	for _, n := range o.Benchmarks {
+		want[n] = true
+	}
+	var out []workload.Benchmark
+	for _, b := range all {
+		if want[b.Name] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Comparison bundles every configuration's run of one benchmark.
+type Comparison struct {
+	Bench workload.Benchmark
+
+	Sync    stats.Result // fully synchronous, 1 GHz
+	MCDBase stats.Result // MCD, all domains at maximum
+	AD      stats.Result // Attack/Decay
+	Dyn1    stats.Result // off-line Dynamic-1%
+	Dyn5    stats.Result // off-line Dynamic-5%
+
+	GlobalAD stats.Result // global scaling matched to AD's degradation
+	GlobalD1 stats.Result
+	GlobalD5 stats.Result
+}
+
+func (o Options) run(b workload.Benchmark, ctrl pipeline.Controller, init [clock.NumControllable]float64, name string) stats.Result {
+	return sim.Run(sim.Spec{
+		Config:         o.config(),
+		Profile:        b.Profile,
+		Window:         o.Window,
+		Warmup:         o.Warmup,
+		IntervalLength: o.IntervalLength,
+		Controller:     ctrl,
+		InitialFreqMHz: init,
+		Name:           name,
+	})
+}
+
+// RunComparison executes the Table 6 / Figure 4 configuration matrix for
+// one benchmark.
+func (o Options) RunComparison(b workload.Benchmark) Comparison {
+	var c Comparison
+	c.Bench = b
+	cfg := o.config()
+
+	o.logf("%-12s sync...", b.Name)
+	c.Sync = sim.RunSynchronousAt(cfg, b.Profile, o.Window, o.Warmup, cfg.MaxFreqMHz, "sync")
+	o.logf(" mcd-base...")
+	c.MCDBase = o.run(b, nil, [clock.NumControllable]float64{}, "mcd-base")
+	o.logf(" attack-decay...")
+	c.AD = o.run(b, core.NewAttackDecay(o.Params), [clock.NumControllable]float64{}, "attack-decay")
+
+	o.logf(" dynamic-1%%...")
+	c.Dyn1 = o.runOffline(b, 0.01)
+	o.logf(" dynamic-5%%...")
+	c.Dyn5 = o.runOffline(b, 0.05)
+
+	o.logf(" global...")
+	degAD := c.AD.TimePS/c.MCDBase.TimePS - 1
+	degD1 := c.Dyn1.TimePS/c.MCDBase.TimePS - 1
+	degD5 := c.Dyn5.TimePS/c.MCDBase.TimePS - 1
+	_, c.GlobalAD = core.GlobalMatch(cfg, b.Profile, o.Window, o.Warmup, c.Sync.TimePS, degAD, "global-ad")
+	_, c.GlobalD1 = core.GlobalMatch(cfg, b.Profile, o.Window, o.Warmup, c.Sync.TimePS, degD1, "global-d1")
+	_, c.GlobalD5 = core.GlobalMatch(cfg, b.Profile, o.Window, o.Warmup, c.Sync.TimePS, degD5, "global-d5")
+	o.logf(" done\n")
+	return c
+}
+
+func (o Options) runOffline(b workload.Benchmark, target float64) stats.Result {
+	ctrl, _ := core.BuildOffline(o.config(), b.Profile, o.Window, core.OfflineOptions{
+		TargetDeg:      target,
+		Iterations:     o.OfflineIters,
+		Warmup:         o.Warmup,
+		IntervalLength: o.IntervalLength,
+	})
+	return sim.Run(sim.Spec{
+		Config:         o.config(),
+		Profile:        b.Profile,
+		Window:         o.Window,
+		Warmup:         o.Warmup,
+		IntervalLength: o.IntervalLength,
+		Controller:     ctrl,
+		InitialFreqMHz: ctrl.Initial(),
+		Name:           ctrl.Name(),
+	})
+}
+
+// RunAll runs the comparison matrix over the selected benchmarks.
+func (o Options) RunAll() []Comparison {
+	var out []Comparison
+	for _, b := range o.catalog() {
+		out = append(out, o.RunComparison(b))
+	}
+	return out
+}
+
+// summarize reduces one configuration across benchmarks against a chosen
+// baseline extractor.
+func summarize(cs []Comparison, pick func(Comparison) stats.Result, base func(Comparison) stats.Result) stats.Summary {
+	var comps []stats.Comparison
+	for _, c := range cs {
+		comps = append(comps, stats.Compare(pick(c), base(c)))
+	}
+	return stats.Summarize(comps)
+}
+
+// Table6 computes the paper's Table 6: each algorithm versus the baseline
+// MCD processor, plus the Global(·) rows versus the fully synchronous
+// processor at 1 GHz.
+func Table6(cs []Comparison) string {
+	type row struct {
+		name string
+		s    stats.Summary
+	}
+	rows := []row{
+		{"Attack/Decay", summarize(cs, func(c Comparison) stats.Result { return c.AD }, func(c Comparison) stats.Result { return c.MCDBase })},
+		{"Dynamic-1%", summarize(cs, func(c Comparison) stats.Result { return c.Dyn1 }, func(c Comparison) stats.Result { return c.MCDBase })},
+		{"Dynamic-5%", summarize(cs, func(c Comparison) stats.Result { return c.Dyn5 }, func(c Comparison) stats.Result { return c.MCDBase })},
+		{"Global (Attack/Decay)", summarize(cs, func(c Comparison) stats.Result { return c.GlobalAD }, func(c Comparison) stats.Result { return c.Sync })},
+		{"Global (Dynamic-1%)", summarize(cs, func(c Comparison) stats.Result { return c.GlobalD1 }, func(c Comparison) stats.Result { return c.Sync })},
+		{"Global (Dynamic-5%)", summarize(cs, func(c Comparison) stats.Result { return c.GlobalD5 }, func(c Comparison) stats.Result { return c.Sync })},
+	}
+	s := "Table 6: algorithm comparison (averages over " + fmt.Sprint(len(cs)) + " benchmarks)\n"
+	s += fmt.Sprintf("%-24s %12s %10s %12s %12s\n", "Algorithm", "Perf Deg", "Energy Sav", "EDP Improv", "Power/Perf")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-24s %11.1f%% %9.1f%% %11.1f%% %12.1f\n",
+			r.name, r.s.PerfDegradation*100, r.s.EnergySavings*100, r.s.EDPImprovement*100, r.s.PowerPerfRatio)
+	}
+	return s
+}
+
+// Headline computes the paper's abstract numbers: Attack/Decay vs the
+// baseline MCD processor and vs the conventional fully synchronous
+// processor.
+func Headline(cs []Comparison) string {
+	vsMCD := summarize(cs, func(c Comparison) stats.Result { return c.AD }, func(c Comparison) stats.Result { return c.MCDBase })
+	vsSync := summarize(cs, func(c Comparison) stats.Result { return c.AD }, func(c Comparison) stats.Result { return c.Sync })
+	d1 := summarize(cs, func(c Comparison) stats.Result { return c.Dyn1 }, func(c Comparison) stats.Result { return c.MCDBase })
+	mcdBase := summarize(cs, func(c Comparison) stats.Result { return c.MCDBase }, func(c Comparison) stats.Result { return c.Sync })
+
+	s := "Headline results (paper values in parentheses)\n"
+	s += fmt.Sprintf("  vs baseline MCD:       EPI -%.1f%% (19.0%%), CPI +%.1f%% (3.2%%), EDP +%.1f%% (16.7%%), ratio %.1f (4.6)\n",
+		vsMCD.EnergySavings*100, vsMCD.PerfDegradation*100, vsMCD.EDPImprovement*100, vsMCD.PowerPerfRatio)
+	s += fmt.Sprintf("  vs fully synchronous:  EPI -%.1f%% (17.5%%), CPI +%.1f%% (4.5%%), EDP +%.1f%% (13.8%%)\n",
+		vsSync.EnergySavings*100, vsSync.PerfDegradation*100, vsSync.EDPImprovement*100)
+	if d1.EDPImprovement != 0 {
+		s += fmt.Sprintf("  A/D EDP vs Dynamic-1%% EDP: %.1f%% (85.5%%)\n", vsMCD.EDPImprovement/d1.EDPImprovement*100)
+	}
+	s += fmt.Sprintf("  inherent MCD degradation: %.1f%% (paper <2%%), MCD energy overhead: %.1f%% (2.9%%)\n",
+		mcdBase.PerfDegradation*100, -mcdBase.EnergySavings*100)
+	return s
+}
+
+// Fig4 prints the three per-application series of Figure 4 (performance
+// degradation, energy savings, EDP improvement), all relative to the
+// fully synchronous processor, for the four configurations the paper
+// plots.
+func Fig4(cs []Comparison) string {
+	s := "Figure 4: per-application results vs fully synchronous processor\n"
+	header := fmt.Sprintf("%-12s %38s\n%-12s %9s %9s %9s %9s\n",
+		"", "Baseline-MCD  Dyn-1%  Dyn-5%  A/D", "benchmark", "base", "dyn1", "dyn5", "ad")
+	metric := func(title string, f func(r, b stats.Result) float64) string {
+		out := "\n(" + title + ")\n" + header
+		var sums [4]float64
+		for _, c := range cs {
+			v := [4]float64{
+				f(c.MCDBase, c.Sync), f(c.Dyn1, c.Sync), f(c.Dyn5, c.Sync), f(c.AD, c.Sync),
+			}
+			for i := range sums {
+				sums[i] += v[i]
+			}
+			out += fmt.Sprintf("%-12s %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
+				c.Bench.Name, v[0]*100, v[1]*100, v[2]*100, v[3]*100)
+		}
+		n := float64(len(cs))
+		out += fmt.Sprintf("%-12s %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
+			"average", sums[0]/n*100, sums[1]/n*100, sums[2]/n*100, sums[3]/n*100)
+		return out
+	}
+	s += metric("a: performance degradation", func(r, b stats.Result) float64 {
+		return r.TimePS/b.TimePS - 1
+	})
+	s += metric("b: energy savings", func(r, b stats.Result) float64 {
+		return 1 - r.EnergyPJ/b.EnergyPJ
+	})
+	s += metric("c: energy-delay product improvement", func(r, b stats.Result) float64 {
+		return 1 - r.EDP()/b.EDP()
+	})
+	return s
+}

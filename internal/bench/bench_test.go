@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"mcd/internal/clock"
+	"mcd/internal/workload"
+)
+
+// tiny returns options small enough for unit tests.
+func tiny() Options {
+	o := DefaultOptions()
+	o.Window = 60_000
+	o.Warmup = 30_000
+	o.IntervalLength = 500
+	o.OfflineIters = 2
+	o.Benchmarks = []string{"adpcm"}
+	return o
+}
+
+func TestStaticTablesRender(t *testing.T) {
+	for name, s := range map[string]string{
+		"table1": Table1(), "table2": Table2(), "table3": Table3(),
+		"table4": Table4(), "table5": Table5(),
+	} {
+		if len(s) < 100 {
+			t.Errorf("%s suspiciously short:\n%s", name, s)
+		}
+	}
+	if !strings.Contains(Table3(), "476") {
+		t.Error("Table 3 must contain the 476 gates/domain figure")
+	}
+	if got := strings.Count(Table5(), "\n"); got < 30 {
+		t.Errorf("Table 5 has %d lines, want >= 30 benchmarks", got)
+	}
+	if !strings.Contains(Table1(), "49.1 ns/MHz") {
+		t.Error("Table 1 must contain the XScale slew rate")
+	}
+}
+
+func TestRunComparisonProducesAllConfigs(t *testing.T) {
+	o := tiny()
+	b, _ := workload.Lookup("adpcm")
+	c := o.RunComparison(b)
+	for name, r := range map[string]uint64{
+		"sync": c.Sync.Instructions, "mcd": c.MCDBase.Instructions,
+		"ad": c.AD.Instructions, "dyn1": c.Dyn1.Instructions,
+		"dyn5": c.Dyn5.Instructions, "gad": c.GlobalAD.Instructions,
+	} {
+		if r != o.Window {
+			t.Errorf("%s retired %d, want %d", name, r, o.Window)
+		}
+	}
+	// The Attack/Decay run must save energy vs the MCD baseline on this
+	// FP-free workload.
+	if c.AD.EnergyPJ >= c.MCDBase.EnergyPJ {
+		t.Error("Attack/Decay saved no energy on adpcm")
+	}
+	t6 := Table6([]Comparison{c})
+	if !strings.Contains(t6, "Attack/Decay") || !strings.Contains(t6, "Global (Dynamic-5%)") {
+		t.Errorf("Table 6 missing rows:\n%s", t6)
+	}
+	f4 := Fig4([]Comparison{c})
+	if !strings.Contains(f4, "adpcm") || !strings.Contains(f4, "average") {
+		t.Errorf("Figure 4 malformed:\n%s", f4)
+	}
+	h := Headline([]Comparison{c})
+	if !strings.Contains(h, "vs baseline MCD") {
+		t.Errorf("headline malformed:\n%s", h)
+	}
+}
+
+func TestTraceEmitsFigureSeries(t *testing.T) {
+	to := TraceOptions{Options: tiny()}
+	to.Window = 100_000
+	res, err := to.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intervals) < 100 {
+		t.Fatalf("only %d intervals recorded", len(res.Intervals))
+	}
+	csv := FigureCSV(res, clock.FloatingPoint)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != len(res.Intervals)+1 {
+		t.Errorf("CSV has %d lines, want %d", len(lines), len(res.Intervals)+1)
+	}
+	if !strings.HasPrefix(lines[0], "instructions,") {
+		t.Errorf("CSV header wrong: %s", lines[0])
+	}
+	if _, err := to.Trace(); err != nil {
+		t.Fatal(err)
+	}
+	bad := TraceOptions{Options: tiny(), Benchmark: "nonesuch"}
+	if _, err := bad.Trace(); err == nil {
+		t.Error("unknown benchmark must error")
+	}
+}
+
+func TestSweepShapes(t *testing.T) {
+	o := tiny()
+	pts := o.SweepDecay([]float64{0.00175, 0.0125})
+	if len(pts) != 2 {
+		t.Fatalf("got %d sweep points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Summary.N != 1 {
+			t.Errorf("sweep point summarized %d benchmarks, want 1", p.Summary.N)
+		}
+	}
+	if pts[0].Value != 0.00175 || pts[1].Value != 0.0125 {
+		t.Error("sweep values out of order")
+	}
+	out := FormatSweep("fig6a", "decay", pts)
+	if !strings.Contains(out, "EDPImprov") {
+		t.Errorf("sweep format malformed:\n%s", out)
+	}
+}
+
+func TestCatalogFilter(t *testing.T) {
+	o := DefaultOptions()
+	if got := len(o.catalog()); got != 30 {
+		t.Errorf("unfiltered catalog = %d, want 30", got)
+	}
+	o.Benchmarks = []string{"mcf", "swim"}
+	if got := len(o.catalog()); got != 2 {
+		t.Errorf("filtered catalog = %d, want 2", got)
+	}
+	if got := len(QuickOptions().catalog()); got != 10 {
+		t.Errorf("quick catalog = %d, want 10", got)
+	}
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+
+	"mcd/internal/clock"
+	"mcd/internal/core"
+	"mcd/internal/stats"
+)
+
+// SweepPoint is one x-axis value of a sensitivity figure with the
+// suite-averaged metrics at that parameter value (vs the baseline MCD
+// processor, as in the paper's sensitivity analysis).
+type SweepPoint struct {
+	Value   float64
+	Summary stats.Summary
+}
+
+// sweep runs Attack/Decay across the catalog once per parameter value.
+func (o Options) sweep(values []float64, apply func(*core.Params, float64)) []SweepPoint {
+	cat := o.catalog()
+	bases := make([]stats.Result, len(cat))
+	for i, b := range cat {
+		o.logf("sweep baseline %s\n", b.Name)
+		bases[i] = o.run(b, nil, [clock.NumControllable]float64{}, "mcd-base")
+	}
+	var points []SweepPoint
+	for _, v := range values {
+		p := o.Params
+		apply(&p, v)
+		var comps []stats.Comparison
+		for i, b := range cat {
+			o.logf("sweep %v %s\n", v, b.Name)
+			res := o.run(b, core.NewAttackDecay(p), [clock.NumControllable]float64{}, "ad-sweep")
+			comps = append(comps, stats.Compare(res, bases[i]))
+		}
+		points = append(points, SweepPoint{Value: v, Summary: stats.Summarize(comps)})
+	}
+	return points
+}
+
+// SweepTarget reproduces Figure 5: PerfDegThreshold swept as the
+// performance degradation target (paper values 0–12%), with the
+// parameters otherwise fixed at 1.000_06.0_1.250_X.X.
+func (o Options) SweepTarget(values []float64) []SweepPoint {
+	if values == nil {
+		values = []float64{0.01, 0.02, 0.04, 0.06, 0.08, 0.10, 0.12}
+	}
+	o.Params.DeviationThreshold = 0.010
+	o.Params.ReactionChange = 0.060
+	o.Params.Decay = 0.0125
+	return o.sweep(values, func(p *core.Params, v float64) { p.PerfDegThreshold = v })
+}
+
+// SweepDecay reproduces Figures 6(a)/7(a): Decay swept 0–2% with
+// parameters 1.500_04.0_X.XXX_3.0.
+func (o Options) SweepDecay(values []float64) []SweepPoint {
+	if values == nil {
+		values = []float64{0.0005, 0.00175, 0.005, 0.0075, 0.0125, 0.0175, 0.02}
+	}
+	o.Params.DeviationThreshold = 0.015
+	o.Params.ReactionChange = 0.040
+	o.Params.PerfDegThreshold = 0.030
+	return o.sweep(values, func(p *core.Params, v float64) { p.Decay = v })
+}
+
+// SweepReaction reproduces Figures 6(b)/7(b): ReactionChange swept
+// 0.5–15.5% with parameters 1.500_XX.X_0.750_3.0.
+func (o Options) SweepReaction(values []float64) []SweepPoint {
+	if values == nil {
+		values = []float64{0.005, 0.02, 0.04, 0.06, 0.09, 0.12, 0.155}
+	}
+	o.Params.DeviationThreshold = 0.015
+	o.Params.Decay = 0.0075
+	o.Params.PerfDegThreshold = 0.030
+	return o.sweep(values, func(p *core.Params, v float64) { p.ReactionChange = v })
+}
+
+// SweepDeviation reproduces Figures 6(c)/7(c): DeviationThreshold swept
+// 0–2.5% with parameters X.XXX_06.0_0.175_2.5.
+func (o Options) SweepDeviation(values []float64) []SweepPoint {
+	if values == nil {
+		values = []float64{0.0025, 0.005, 0.0075, 0.0125, 0.0175, 0.025}
+	}
+	o.Params.ReactionChange = 0.060
+	o.Params.Decay = 0.00175
+	o.Params.PerfDegThreshold = 0.025
+	return o.sweep(values, func(p *core.Params, v float64) { p.DeviationThreshold = v })
+}
+
+// FormatSweep renders a sweep as the two series the paper plots: EDP
+// improvement (Figure 6) and power/performance ratio (Figure 7), plus the
+// measured degradation (Figure 5a's y-axis).
+func FormatSweep(title, xlabel string, points []SweepPoint) string {
+	s := title + "\n"
+	s += fmt.Sprintf("%-12s %10s %12s %12s %12s\n", xlabel, "PerfDeg", "EnergySav", "EDPImprov", "Power/Perf")
+	for _, p := range points {
+		s += fmt.Sprintf("%11.3f%% %9.1f%% %11.1f%% %11.1f%% %12.2f\n",
+			p.Value*100,
+			p.Summary.PerfDegradation*100,
+			p.Summary.EnergySavings*100,
+			p.Summary.EDPImprovement*100,
+			p.Summary.PowerPerfRatio)
+	}
+	return s
+}

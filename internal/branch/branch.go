@@ -1,0 +1,212 @@
+// Package branch implements the front-end branch prediction substrate of
+// the simulated Alpha-21264-like processor: a combining (tournament)
+// predictor selecting between a bimodal table and a two-level
+// history-based predictor, plus a set-associative branch target buffer.
+// Sizes default to Table 4 of the paper.
+package branch
+
+// Config sizes the predictor structures. All sizes must be powers of two.
+type Config struct {
+	L1Size      int // level-1 per-branch history registers
+	HistoryBits int // history length feeding the level-2 table
+	L2Size      int // level-2 pattern counters
+	BimodalSize int
+	ChooserSize int // combining predictor
+	BTBSets     int
+	BTBAssoc    int
+}
+
+// DefaultConfig returns the configuration from Table 4.
+func DefaultConfig() Config {
+	return Config{
+		L1Size:      1024,
+		HistoryBits: 10,
+		L2Size:      1024,
+		BimodalSize: 1024,
+		ChooserSize: 4096,
+		BTBSets:     4096,
+		BTBAssoc:    2,
+	}
+}
+
+// counter is a 2-bit saturating counter; values 2 and 3 predict taken.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+type btbEntry struct {
+	tag    uint64
+	target uint64
+	valid  bool
+	lru    uint64
+}
+
+// Stats holds predictor accuracy counters.
+type Stats struct {
+	Lookups    uint64
+	Mispredict uint64
+	BTBLookups uint64
+	BTBHits    uint64
+}
+
+// Accuracy returns the fraction of direction predictions that were correct.
+func (s Stats) Accuracy() float64 {
+	if s.Lookups == 0 {
+		return 1
+	}
+	return 1 - float64(s.Mispredict)/float64(s.Lookups)
+}
+
+// Predictor is the combining predictor plus BTB. It is not safe for
+// concurrent use; the simulator drives it from a single goroutine.
+type Predictor struct {
+	cfg      Config
+	bimodal  []counter
+	history  []uint32 // level-1 history registers
+	pattern  []counter
+	chooser  []counter // high = prefer two-level
+	histMask uint32
+	btb      []btbEntry // BTBSets*BTBAssoc, set-major
+	tick     uint64
+	stats    Stats
+}
+
+// New returns a predictor with all counters initialized weakly not-taken
+// (the SimpleScalar convention) and an empty BTB. It panics if any size is
+// not a power of two, since index masking depends on it.
+func New(cfg Config) *Predictor {
+	for _, v := range []int{cfg.L1Size, cfg.L2Size, cfg.BimodalSize, cfg.ChooserSize, cfg.BTBSets} {
+		if v <= 0 || v&(v-1) != 0 {
+			panic("branch: table sizes must be powers of two")
+		}
+	}
+	if cfg.HistoryBits <= 0 || cfg.HistoryBits > 30 || cfg.BTBAssoc <= 0 {
+		panic("branch: invalid history length or BTB associativity")
+	}
+	p := &Predictor{
+		cfg:      cfg,
+		bimodal:  make([]counter, cfg.BimodalSize),
+		history:  make([]uint32, cfg.L1Size),
+		pattern:  make([]counter, cfg.L2Size),
+		chooser:  make([]counter, cfg.ChooserSize),
+		histMask: (1 << cfg.HistoryBits) - 1,
+		btb:      make([]btbEntry, cfg.BTBSets*cfg.BTBAssoc),
+	}
+	for i := range p.chooser {
+		p.chooser[i] = 1 // weakly prefer bimodal, as in SimpleScalar's comb
+	}
+	return p
+}
+
+func (p *Predictor) bimodalIdx(pc uint64) int { return int(pc>>2) & (p.cfg.BimodalSize - 1) }
+func (p *Predictor) l1Idx(pc uint64) int      { return int(pc>>2) & (p.cfg.L1Size - 1) }
+func (p *Predictor) chooserIdx(pc uint64) int { return int(pc>>2) & (p.cfg.ChooserSize - 1) }
+
+func (p *Predictor) l2Idx(pc uint64) int {
+	h := p.history[p.l1Idx(pc)] & p.histMask
+	return int(h) & (p.cfg.L2Size - 1)
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (p *Predictor) Predict(pc uint64) bool {
+	bi := p.bimodal[p.bimodalIdx(pc)].taken()
+	tw := p.pattern[p.l2Idx(pc)].taken()
+	if p.chooser[p.chooserIdx(pc)].taken() {
+		return tw
+	}
+	return bi
+}
+
+// Update trains the predictor with the actual outcome and returns whether
+// the prediction (recomputed pre-update, as the front end saw it) was
+// correct. Both component predictors and the chooser are updated following
+// the standard tournament scheme.
+func (p *Predictor) Update(pc uint64, taken bool) bool {
+	biIdx, l2, chIdx := p.bimodalIdx(pc), p.l2Idx(pc), p.chooserIdx(pc)
+	biPred := p.bimodal[biIdx].taken()
+	twPred := p.pattern[l2].taken()
+	useTW := p.chooser[chIdx].taken()
+	pred := biPred
+	if useTW {
+		pred = twPred
+	}
+
+	// The chooser trains toward whichever component was right when they
+	// disagree.
+	if biPred != twPred {
+		p.chooser[chIdx] = p.chooser[chIdx].update(twPred == taken)
+	}
+	p.bimodal[biIdx] = p.bimodal[biIdx].update(taken)
+	p.pattern[l2] = p.pattern[l2].update(taken)
+	h := &p.history[p.l1Idx(pc)]
+	*h = ((*h << 1) | b2u(taken)) & p.histMask
+
+	p.stats.Lookups++
+	if pred != taken {
+		p.stats.Mispredict++
+	}
+	return pred == taken
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (p *Predictor) btbSet(pc uint64) []btbEntry {
+	set := int(pc>>2) & (p.cfg.BTBSets - 1)
+	return p.btb[set*p.cfg.BTBAssoc : (set+1)*p.cfg.BTBAssoc]
+}
+
+// Target looks up the BTB, returning the stored target and whether it hit.
+func (p *Predictor) Target(pc uint64) (uint64, bool) {
+	p.stats.BTBLookups++
+	set := p.btbSet(pc)
+	for i := range set {
+		if set[i].valid && set[i].tag == pc {
+			p.tick++
+			set[i].lru = p.tick
+			p.stats.BTBHits++
+			return set[i].target, true
+		}
+	}
+	return 0, false
+}
+
+// SetTarget installs pc→target in the BTB with LRU replacement.
+func (p *Predictor) SetTarget(pc, target uint64) {
+	set := p.btbSet(pc)
+	p.tick++
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == pc {
+			set[i].target = target
+			set[i].lru = p.tick
+			return
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = btbEntry{tag: pc, target: target, valid: true, lru: p.tick}
+}
+
+// Stats returns a copy of the accuracy counters.
+func (p *Predictor) Stats() Stats { return p.stats }

@@ -1,0 +1,164 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterSaturation(t *testing.T) {
+	c := counter(0)
+	for i := 0; i < 10; i++ {
+		c = c.update(false)
+	}
+	if c != 0 {
+		t.Errorf("counter underflowed to %d", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.update(true)
+	}
+	if c != 3 {
+		t.Errorf("counter saturated at %d, want 3", c)
+	}
+	if !c.taken() {
+		t.Error("saturated counter must predict taken")
+	}
+}
+
+func TestNewPanicsOnNonPowerOfTwo(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L2Size = 1000
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two table")
+		}
+	}()
+	New(cfg)
+}
+
+func TestAlwaysTakenBranchLearned(t *testing.T) {
+	p := New(DefaultConfig())
+	const pc = 0x4000
+	for i := 0; i < 8; i++ {
+		p.Update(pc, true)
+	}
+	if !p.Predict(pc) {
+		t.Error("always-taken branch not learned")
+	}
+	if acc := p.Stats().Accuracy(); acc < 0.6 {
+		t.Errorf("accuracy %v too low for trivially biased branch", acc)
+	}
+}
+
+func TestAlternatingBranchLearnedByHistory(t *testing.T) {
+	// A strictly alternating branch defeats bimodal but is perfectly
+	// predictable from 10 bits of local history once the two-level
+	// component and chooser warm up.
+	p := New(DefaultConfig())
+	const pc = 0x8888
+	taken := false
+	correct := 0
+	const warm, measure = 4096, 1024
+	for i := 0; i < warm+measure; i++ {
+		pred := p.Predict(pc)
+		if i >= warm && pred == taken {
+			correct++
+		}
+		p.Update(pc, taken)
+		taken = !taken
+	}
+	if frac := float64(correct) / measure; frac < 0.95 {
+		t.Errorf("alternating branch accuracy = %v, want >= 0.95", frac)
+	}
+}
+
+func TestRandomBranchAccuracyNearHalf(t *testing.T) {
+	p := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(3))
+	const pc = 0x1234
+	correct, n := 0, 20000
+	for i := 0; i < n; i++ {
+		taken := rng.Intn(2) == 0
+		if p.Predict(pc) == taken {
+			correct++
+		}
+		p.Update(pc, taken)
+	}
+	frac := float64(correct) / float64(n)
+	if frac < 0.40 || frac > 0.60 {
+		t.Errorf("random branch accuracy = %v, want ~0.5", frac)
+	}
+}
+
+func TestMixedPopulationAccuracy(t *testing.T) {
+	// 90% strongly biased branches + 10% random ones should land
+	// comfortably above 85% overall, mimicking real integer codes.
+	p := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(11))
+	correct, n := 0, 50000
+	for i := 0; i < n; i++ {
+		pc := uint64(rng.Intn(256)) * 4
+		var taken bool
+		if pc < 232*4 {
+			taken = pc%8 != 0 // biased per-PC
+		} else {
+			taken = rng.Intn(2) == 0
+		}
+		if p.Predict(pc) == taken {
+			correct++
+		}
+		p.Update(pc, taken)
+	}
+	if frac := float64(correct) / float64(n); frac < 0.85 {
+		t.Errorf("mixed population accuracy = %v, want >= 0.85", frac)
+	}
+}
+
+func TestBTBStoresAndEvicts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BTBSets = 4
+	cfg.BTBAssoc = 2
+	p := New(cfg)
+	// Three PCs mapping to the same set (stride = sets*4 bytes).
+	stride := uint64(cfg.BTBSets * 4)
+	a, b, c := uint64(0), stride, 2*stride
+	p.SetTarget(a, 100)
+	p.SetTarget(b, 200)
+	if tgt, ok := p.Target(a); !ok || tgt != 100 {
+		t.Fatalf("Target(a) = (%d,%v), want (100,true)", tgt, ok)
+	}
+	// Touch a so b becomes LRU, then insert c: b must be evicted.
+	p.SetTarget(c, 300)
+	if _, ok := p.Target(b); ok {
+		t.Error("expected b evicted as LRU victim")
+	}
+	if tgt, ok := p.Target(c); !ok || tgt != 300 {
+		t.Errorf("Target(c) = (%d,%v), want (300,true)", tgt, ok)
+	}
+	if s := p.Stats(); s.BTBLookups == 0 {
+		t.Error("BTB lookups not counted")
+	}
+}
+
+func TestBTBUpdateExistingEntry(t *testing.T) {
+	p := New(DefaultConfig())
+	p.SetTarget(0x40, 1)
+	p.SetTarget(0x40, 2)
+	if tgt, ok := p.Target(0x40); !ok || tgt != 2 {
+		t.Errorf("Target = (%d,%v), want (2,true)", tgt, ok)
+	}
+}
+
+// Property: Update returns true iff the pre-update Predict matched.
+func TestUpdateConsistentWithPredictProperty(t *testing.T) {
+	p := New(DefaultConfig())
+	f := func(pcRaw uint16, taken bool) bool {
+		pc := uint64(pcRaw) * 4
+		pred := p.Predict(pc)
+		got := p.Update(pc, taken)
+		return got == (pred == taken)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

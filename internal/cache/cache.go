@@ -1,0 +1,174 @@
+// Package cache implements the memory hierarchy substrate: generic
+// set-associative write-allocate caches with LRU replacement, composed into
+// the paper's hierarchy (64 KB 2-way split L1s, 1 MB direct-mapped unified
+// L2, fixed-latency main memory on its own uncontrollable clock domain).
+package cache
+
+// Config sizes one cache.
+type Config struct {
+	SizeBytes  int
+	BlockBytes int
+	Assoc      int
+}
+
+// Lines returns the total number of cache lines.
+func (c Config) Lines() int { return c.SizeBytes / c.BlockBytes }
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.Lines() / c.Assoc }
+
+type line struct {
+	tag   uint64
+	valid bool
+	lru   uint64
+}
+
+// Stats counts accesses and misses.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns misses/accesses (0 for an untouched cache).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative cache with LRU replacement. Tag state only —
+// the simulator is trace driven, so no data is stored.
+type Cache struct {
+	cfg       Config
+	sets      []line // Sets()*Assoc, set-major
+	setMask   uint64
+	blockBits uint
+	tick      uint64
+	stats     Stats
+}
+
+// New builds a cache. It panics on non-power-of-two geometry, which the
+// index masking requires.
+func New(cfg Config) *Cache {
+	if cfg.SizeBytes <= 0 || cfg.BlockBytes <= 0 || cfg.Assoc <= 0 {
+		panic("cache: sizes must be positive")
+	}
+	sets := cfg.Sets()
+	if sets <= 0 || sets&(sets-1) != 0 || cfg.BlockBytes&(cfg.BlockBytes-1) != 0 {
+		panic("cache: geometry must be a power of two")
+	}
+	bb := uint(0)
+	for 1<<bb < cfg.BlockBytes {
+		bb++
+	}
+	return &Cache{
+		cfg:       cfg,
+		sets:      make([]line, sets*cfg.Assoc),
+		setMask:   uint64(sets - 1),
+		blockBits: bb,
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access looks up addr, allocating the block on a miss, and reports whether
+// it hit. Reads and writes behave identically at this fidelity
+// (write-allocate; write-back traffic is not modeled).
+func (c *Cache) Access(addr uint64) bool {
+	c.stats.Accesses++
+	c.tick++
+	blk := addr >> c.blockBits
+	set := int(blk & c.setMask)
+	ways := c.sets[set*c.cfg.Assoc : (set+1)*c.cfg.Assoc]
+	victim := 0
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == blk {
+			ways[i].lru = c.tick
+			return true
+		}
+		if !ways[i].valid {
+			victim = i
+		} else if ways[victim].valid && ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	c.stats.Misses++
+	ways[victim] = line{tag: blk, valid: true, lru: c.tick}
+	return false
+}
+
+// Probe looks up addr without updating LRU state or allocating.
+func (c *Cache) Probe(addr uint64) bool {
+	blk := addr >> c.blockBits
+	set := int(blk & c.setMask)
+	ways := c.sets[set*c.cfg.Assoc : (set+1)*c.cfg.Assoc]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == blk {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Level identifies where in the hierarchy an access was satisfied.
+type Level uint8
+
+// Hierarchy levels.
+const (
+	L1 Level = iota
+	L2
+	Mem
+)
+
+func (l Level) String() string {
+	switch l {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	default:
+		return "memory"
+	}
+}
+
+// Hierarchy is the paper's split-L1 / unified-L2 / main-memory stack.
+type Hierarchy struct {
+	L1I, L1D, L2C *Cache
+}
+
+// DefaultHierarchy builds the Table 4 configuration with 64-byte blocks.
+func DefaultHierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1I: New(Config{SizeBytes: 64 << 10, BlockBytes: 64, Assoc: 2}),
+		L1D: New(Config{SizeBytes: 64 << 10, BlockBytes: 64, Assoc: 2}),
+		L2C: New(Config{SizeBytes: 1 << 20, BlockBytes: 64, Assoc: 1}),
+	}
+}
+
+// Inst performs an instruction fetch access and returns the satisfying
+// level and whether the L2 was accessed (for energy accounting).
+func (h *Hierarchy) Inst(addr uint64) (Level, bool) {
+	if h.L1I.Access(addr) {
+		return L1, false
+	}
+	if h.L2C.Access(addr) {
+		return L2, true
+	}
+	return Mem, true
+}
+
+// Data performs a load/store access.
+func (h *Hierarchy) Data(addr uint64) (Level, bool) {
+	if h.L1D.Access(addr) {
+		return L1, false
+	}
+	if h.L2C.Access(addr) {
+		return L2, true
+	}
+	return Mem, true
+}

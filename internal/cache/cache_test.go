@@ -1,0 +1,166 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigGeometry(t *testing.T) {
+	cfg := Config{SizeBytes: 64 << 10, BlockBytes: 64, Assoc: 2}
+	if cfg.Lines() != 1024 {
+		t.Errorf("lines = %d, want 1024", cfg.Lines())
+	}
+	if cfg.Sets() != 512 {
+		t.Errorf("sets = %d, want 512", cfg.Sets())
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, BlockBytes: 64, Assoc: 1},
+		{SizeBytes: 3000, BlockBytes: 64, Assoc: 1},
+		{SizeBytes: 1 << 10, BlockBytes: 48, Assoc: 1},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(Config{SizeBytes: 1 << 10, BlockBytes: 64, Assoc: 2})
+	if c.Access(0x100) {
+		t.Error("cold access must miss")
+	}
+	if !c.Access(0x100) {
+		t.Error("second access must hit")
+	}
+	// Same block, different offset: hit.
+	if !c.Access(0x100 + 63) {
+		t.Error("same-block access must hit")
+	}
+	s := c.Stats()
+	if s.Accesses != 3 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want 3 accesses / 1 miss", s)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 2-way cache with 2 sets; three blocks in set 0.
+	c := New(Config{SizeBytes: 256, BlockBytes: 64, Assoc: 2})
+	sets := uint64(c.Config().Sets())
+	a, b, d := uint64(0), 64*sets, 2*64*sets
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // a is MRU
+	c.Access(d) // evicts b
+	if !c.Probe(a) {
+		t.Error("a should survive (MRU)")
+	}
+	if c.Probe(b) {
+		t.Error("b should have been evicted (LRU)")
+	}
+	if !c.Probe(d) {
+		t.Error("d should be resident")
+	}
+}
+
+func TestProbeDoesNotAllocate(t *testing.T) {
+	c := New(Config{SizeBytes: 1 << 10, BlockBytes: 64, Assoc: 2})
+	if c.Probe(0x40) {
+		t.Error("probe hit on empty cache")
+	}
+	if c.Stats().Accesses != 0 {
+		t.Error("probe must not count as access")
+	}
+	if c.Access(0x40) {
+		t.Error("probe must not have allocated")
+	}
+}
+
+func TestDirectMappedConflicts(t *testing.T) {
+	c := New(Config{SizeBytes: 1 << 20, BlockBytes: 64, Assoc: 1})
+	sets := uint64(c.Config().Sets())
+	a := uint64(0x40)
+	b := a + 64*sets // same set, different tag
+	c.Access(a)
+	c.Access(b)
+	if c.Access(a) {
+		t.Error("direct-mapped conflict should have evicted a")
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := DefaultHierarchy()
+	lvl, l2 := h.Data(0x1000)
+	if lvl != Mem || !l2 {
+		t.Errorf("cold access = (%v,%v), want (memory,true)", lvl, l2)
+	}
+	lvl, l2 = h.Data(0x1000)
+	if lvl != L1 || l2 {
+		t.Errorf("warm access = (%v,%v), want (L1,false)", lvl, l2)
+	}
+	// Evict from L1 but not L2: walk addresses mapping to the same L1 set.
+	sets := uint64(h.L1D.Config().Sets())
+	for i := uint64(1); i <= 2; i++ {
+		h.Data(0x1000 + i*64*sets)
+	}
+	lvl, l2 = h.Data(0x1000)
+	if lvl != L2 || !l2 {
+		t.Errorf("L1-evicted access = (%v,%v), want (L2,true)", lvl, l2)
+	}
+	if L1.String() != "L1" || L2.String() != "L2" || Mem.String() != "memory" {
+		t.Error("level names wrong")
+	}
+}
+
+func TestInstAndDataAreIndependent(t *testing.T) {
+	h := DefaultHierarchy()
+	h.Inst(0x2000)
+	if lvl, _ := h.Data(0x2000); lvl == L1 {
+		t.Error("data access must not hit in L1I")
+	}
+	// But both share L2.
+	if lvl, _ := h.Inst(0x2000); lvl != L1 {
+		t.Errorf("re-fetch = %v, want L1", lvl)
+	}
+}
+
+func TestWorkingSetMissRates(t *testing.T) {
+	// A working set fitting in L1 should have ~0 steady-state misses; one
+	// fitting only in L2 should miss in L1 but hit in L2.
+	h := DefaultHierarchy()
+	rng := rand.New(rand.NewSource(5))
+	small := uint64(32 << 10)
+	for i := 0; i < 50000; i++ {
+		h.Data(uint64(rng.Int63()) % small)
+	}
+	if mr := h.L1D.Stats().MissRate(); mr > 0.05 {
+		t.Errorf("L1-resident working set miss rate = %v, want < 0.05", mr)
+	}
+}
+
+// Property: accesses never decrease and misses <= accesses.
+func TestStatsInvariantProperty(t *testing.T) {
+	c := New(Config{SizeBytes: 4 << 10, BlockBytes: 64, Assoc: 2})
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			c.Access(uint64(a))
+			s := c.Stats()
+			if s.Misses > s.Accesses {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package clock models the per-domain clocking substrate of a Multiple
+// Clock Domain (MCD) processor: independent domain clocks with normally
+// distributed jitter, randomized initial phases, cycle-by-cycle edge
+// tracking, and the Sjogren–Myers synchronization-window test used to
+// decide whether a signal produced in one domain can be latched at a given
+// edge of another domain.
+//
+// All times are in picoseconds; all frequencies in MHz. A 1.0 GHz clock
+// therefore has a nominal period of 1000 ps.
+package clock
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Domain identifies one of the independently clocked processor regions
+// described in the paper (Figure 1). Memory is clocked independently but is
+// not controllable; it always runs at the maximum frequency.
+type Domain uint8
+
+// The four controllable domains, plus the external memory domain.
+const (
+	FrontEnd Domain = iota
+	Integer
+	FloatingPoint
+	LoadStore
+	Memory
+
+	// NumControllable is the number of domains whose frequency and
+	// voltage may be adjusted (all but Memory).
+	NumControllable = 4
+	// NumDomains includes the external memory domain.
+	NumDomains = 5
+)
+
+var domainNames = [NumDomains]string{"frontend", "integer", "fp", "loadstore", "memory"}
+
+func (d Domain) String() string {
+	if int(d) < len(domainNames) {
+		return domainNames[d]
+	}
+	return "unknown"
+}
+
+// Controllable reports whether the domain's frequency/voltage may be
+// adjusted by a controller.
+func (d Domain) Controllable() bool { return d < NumControllable }
+
+// PeriodPS converts a frequency in MHz to a period in picoseconds.
+func PeriodPS(freqMHz float64) float64 { return 1e6 / freqMHz }
+
+// FreqMHz converts a period in picoseconds to a frequency in MHz.
+func FreqMHz(periodPS float64) float64 { return 1e6 / periodPS }
+
+// Clock is one domain clock. It tracks the ideal (jitter-free) time of its
+// next edge; each pending edge is displaced by a fresh jitter sample drawn
+// from a normal distribution with mean zero, exactly as in the paper's
+// clocking model (Section 4). Jitter is per-edge displacement from the PLL
+// grid, not a cumulative random walk: the relationship between two domain
+// clocks of equal frequency stays bounded, and synchronization penalties
+// arise from window violations and inter-domain rate differences, as the
+// paper describes.
+type Clock struct {
+	periodPS float64
+	basePS   float64 // ideal time of the pending edge
+	jitPS    float64 // jitter displacement of the pending edge
+	lastPS   float64
+	sigmaPS  float64
+	rng      *rand.Rand
+	cycles   uint64
+}
+
+// New returns a clock running at freqMHz whose first edge occurs at
+// startPS. Jitter is disabled when sigmaPS is zero or rng is nil.
+func New(freqMHz, sigmaPS, startPS float64, rng *rand.Rand) *Clock {
+	c := &Clock{
+		periodPS: PeriodPS(freqMHz),
+		basePS:   startPS,
+		lastPS:   math.Inf(-1),
+		sigmaPS:  sigmaPS,
+		rng:      rng,
+	}
+	c.jitPS = c.sampleJitter()
+	return c
+}
+
+func (c *Clock) sampleJitter() float64 {
+	if c.rng == nil || c.sigmaPS == 0 {
+		return 0
+	}
+	return c.rng.NormFloat64() * c.sigmaPS
+}
+
+// NextEdge returns the time of the next (not yet consumed) clock edge.
+func (c *Clock) NextEdge() float64 {
+	e := c.basePS + c.jitPS
+	// Jitter must never reorder edges; with sigma = 110 ps and periods
+	// >= 1000 ps a violation is a multi-sigma event, but guard anyway.
+	if e <= c.lastPS {
+		e = c.lastPS + c.periodPS*0.25
+	}
+	return e
+}
+
+// LastEdge returns the time of the most recently consumed edge, or -Inf
+// before any edge has been consumed.
+func (c *Clock) LastEdge() float64 { return c.lastPS }
+
+// Advance consumes the pending edge and schedules the following one. It
+// returns the time of the consumed edge.
+func (c *Clock) Advance() float64 {
+	edge := c.NextEdge()
+	c.lastPS = edge
+	c.basePS += c.periodPS
+	c.jitPS = c.sampleJitter()
+	c.cycles++
+	return edge
+}
+
+// SetFrequencyMHz changes the clock frequency. The change takes effect for
+// the next scheduled period (the already-scheduled pending edge is kept),
+// which models a PLL whose output period updates continuously while the
+// domain executes through the change.
+func (c *Clock) SetFrequencyMHz(f float64) { c.periodPS = PeriodPS(f) }
+
+// FrequencyMHz returns the current clock frequency.
+func (c *Clock) FrequencyMHz() float64 { return FreqMHz(c.periodPS) }
+
+// PeriodPS returns the current nominal period in picoseconds.
+func (c *Clock) PeriodPS() float64 { return c.periodPS }
+
+// Cycles returns the number of edges consumed so far.
+func (c *Clock) Cycles() uint64 { return c.cycles }
+
+// Visible implements the Sjogren–Myers arbitration test: a signal produced
+// in a source domain at time producedPS can be latched at a destination
+// edge at time edgePS only if the edges are at least windowPS apart.
+// Destination edges inside the window must wait for the following edge.
+func Visible(producedPS, edgePS, windowPS float64) bool {
+	return edgePS >= producedPS+windowPS
+}
+
+// Scheduler multiplexes the domain clocks, always surfacing the earliest
+// pending edge. With a handful of clocks a linear scan beats a heap.
+type Scheduler struct {
+	clocks []*Clock
+}
+
+// NewScheduler builds a scheduler over per-domain clocks indexed by Domain.
+// All entries must be non-nil. The external memory domain needs no clock
+// here; its fixed latency is modeled directly by the pipeline.
+func NewScheduler(clocks []*Clock) *Scheduler {
+	if len(clocks) == 0 {
+		panic("clock: scheduler needs at least one clock")
+	}
+	return &Scheduler{clocks: clocks}
+}
+
+// Clock returns the clock for domain d.
+func (s *Scheduler) Clock(d Domain) *Clock { return s.clocks[d] }
+
+// Peek returns the domain whose next edge is earliest and that edge's time.
+// Ties break toward the lowest-numbered domain, which gives the front end
+// priority at aligned edges (e.g. in fully synchronous configurations).
+func (s *Scheduler) Peek() (Domain, float64) {
+	best := Domain(0)
+	bestT := s.clocks[0].NextEdge()
+	for d := 1; d < len(s.clocks); d++ {
+		if t := s.clocks[d].NextEdge(); t < bestT {
+			best, bestT = Domain(d), t
+		}
+	}
+	return best, bestT
+}
+
+// Advance consumes the earliest pending edge and returns its domain and time.
+func (s *Scheduler) Advance() (Domain, float64) {
+	d, _ := s.Peek()
+	return d, s.clocks[d].Advance()
+}

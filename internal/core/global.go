@@ -1,0 +1,63 @@
+package core
+
+import (
+	"mcd/internal/dvfs"
+	"mcd/internal/pipeline"
+	"mcd/internal/sim"
+	"mcd/internal/stats"
+	"mcd/internal/workload"
+)
+
+// GlobalMatch finds, by bisection over the 320-point operating scale, the
+// single global frequency at which the conventional fully synchronous
+// processor suffers the given performance degradation relative to baseTime
+// (its own 1 GHz run). This reproduces the Global(·) rows of Table 6: the
+// comparison point for each algorithm is global voltage scaling tuned to
+// the same slowdown.
+//
+// It returns the chosen frequency and the run at that frequency. Because
+// memory latency is fixed in wall-clock terms, memory-bound workloads
+// degrade sublinearly in frequency, which is precisely why global scaling
+// saves so little energy per unit of slowdown (ratio ≈ 2).
+func GlobalMatch(cfg pipeline.Config, prof workload.Profile, window, warmup uint64, baseTime float64, targetDeg float64, name string) (float64, stats.Result) {
+	scale := dvfs.DefaultScale()
+	lo, hi := 0, scale.Points()-1 // index 0 = 250 MHz, max index = 1000 MHz
+	freqAt := func(i int) float64 { return scale.MinFreqMHz() + float64(i)*scale.StepMHz() }
+
+	if targetDeg <= 0 {
+		res := sim.RunSynchronousAt(cfg, prof, window, warmup, freqAt(hi), name)
+		return freqAt(hi), res
+	}
+
+	var best stats.Result
+	bestFreq := freqAt(hi)
+	bestDiff := -1.0
+	for lo < hi {
+		mid := (lo + hi) / 2
+		f := freqAt(mid)
+		res := sim.RunSynchronousAt(cfg, prof, window, warmup, f, name)
+		deg := res.TimePS/baseTime - 1
+		diff := deg - targetDeg
+		if bestDiff < 0 || abs(diff) < bestDiff {
+			bestDiff = abs(diff)
+			best = res
+			bestFreq = f
+		}
+		if deg > targetDeg {
+			lo = mid + 1 // too slow: need a higher frequency
+		} else {
+			hi = mid // within budget: try lower
+		}
+	}
+	if best.Instructions == 0 {
+		best = sim.RunSynchronousAt(cfg, prof, window, warmup, bestFreq, name)
+	}
+	return bestFreq, best
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+
+	"mcd/internal/clock"
+	"mcd/internal/pipeline"
+	"mcd/internal/sim"
+	"mcd/internal/stats"
+	"mcd/internal/workload"
+)
+
+// Schedule is a per-interval table of domain frequency targets (MHz).
+type Schedule [][clock.NumControllable]float64
+
+// OfflineController replays a precomputed schedule, standing in for the
+// Dynamic-1%/Dynamic-5% off-line algorithm of the paper (ref [22]): the
+// schedule is built with full knowledge of the application's future, and —
+// like the paper's off-line algorithm — frequency changes are requested
+// one interval ahead of where they are needed, so regulator slew is not a
+// source of error.
+type OfflineController struct {
+	name  string
+	sched Schedule
+	idx   int
+}
+
+var _ pipeline.Controller = (*OfflineController)(nil)
+
+// NewOfflineController wraps a schedule. Interval i's targets are issued
+// at the end of interval i-1 (one interval of lead).
+func NewOfflineController(name string, sched Schedule) *OfflineController {
+	return &OfflineController{name: name, sched: sched}
+}
+
+// Name implements pipeline.Controller.
+func (o *OfflineController) Name() string { return o.name }
+
+// Initial returns the frequencies for interval 0, to be applied before the
+// run starts.
+func (o *OfflineController) Initial() [clock.NumControllable]float64 {
+	if len(o.sched) == 0 {
+		return [clock.NumControllable]float64{}
+	}
+	return o.sched[0]
+}
+
+// Observe implements pipeline.Controller: at the end of measured interval
+// i it issues the schedule entry for interval i+1. Warmup intervals are
+// ignored so the schedule stays aligned with the measured intervals it was
+// profiled against; the warmup region runs at the Initial() frequencies.
+func (o *OfflineController) Observe(iv pipeline.IntervalView) [clock.NumControllable]float64 {
+	if iv.Warmup {
+		return [clock.NumControllable]float64{}
+	}
+	o.idx++
+	i := o.idx
+	if i >= len(o.sched) {
+		i = len(o.sched) - 1
+	}
+	if i < 0 {
+		return [clock.NumControllable]float64{}
+	}
+	return o.sched[i]
+}
+
+// OfflineOptions tunes the schedule search.
+type OfflineOptions struct {
+	// TargetDeg is the performance-degradation cap relative to the
+	// baseline MCD processor (0.01 for Dynamic-1%, 0.05 for Dynamic-5%).
+	TargetDeg float64
+	// Iterations bounds the refinement passes (default 6).
+	Iterations int
+	// StepDown/StepUp are the multiplicative frequency adjustments
+	// (defaults 0.90 and 1.15).
+	StepDown, StepUp float64
+	// Warmup instructions run before each profiled window.
+	Warmup uint64
+	// IntervalLength is the sampling period used during profiling and
+	// replay; it must match the final run's interval length for the
+	// schedule indices to line up. Zero uses the pipeline default.
+	IntervalLength uint64
+}
+
+// BuildOffline profiles the workload at maximum frequencies, then
+// iteratively lowers per-interval domain frequencies where the decoupling
+// queues show slack, re-simulating until the end-to-end dilation meets the
+// target. It returns the controller and the baseline (all-max MCD) result
+// used as its reference.
+//
+// This reproduces the *global knowledge* property of the paper's off-line
+// shaker — it sees every interval of the whole run before choosing any
+// frequency, pays no reactive lag, and can therefore cap the dilation
+// tightly — without reimplementing the shaker's dependence-graph passes.
+func BuildOffline(cfg pipeline.Config, prof workload.Profile, window uint64, opts OfflineOptions) (*OfflineController, stats.Result) {
+	if opts.Iterations == 0 {
+		opts.Iterations = 6
+	}
+	if opts.StepDown == 0 {
+		opts.StepDown = 0.90
+	}
+	if opts.StepUp == 0 {
+		opts.StepUp = 1.15
+	}
+	name := fmt.Sprintf("dynamic-%.0f%%", opts.TargetDeg*100)
+
+	base := sim.Run(sim.Spec{
+		Config: cfg, Profile: prof, Window: window, Warmup: opts.Warmup,
+		IntervalLength:  opts.IntervalLength,
+		RecordIntervals: true, Name: "mcd-baseline",
+	})
+	nIv := len(base.Intervals)
+	sched := make(Schedule, max(nIv, 1))
+	for i := range sched {
+		for d := 0; d < clock.NumControllable; d++ {
+			sched[i][d] = cfg.MaxFreqMHz
+		}
+	}
+	if nIv == 0 {
+		return NewOfflineController(name, sched), base
+	}
+
+	controlled := []clock.Domain{clock.Integer, clock.FloatingPoint, clock.LoadStore}
+	cur := base
+	for it := 0; it < opts.Iterations; it++ {
+		deg := cur.TimePS/base.TimePS - 1
+		for i := 0; i < nIv && i < len(cur.Intervals); i++ {
+			for _, d := range controlled {
+				occ := cur.Intervals[i].QueueAvg[d]
+				ref := base.Intervals[i].QueueAvg[d]
+				// A queue holding substantially more than it did at full
+				// speed means the domain is now too slow for this phase.
+				backedUp := occ > ref*1.6+1.0
+				switch {
+				case backedUp:
+					sched[i][d] *= opts.StepUp
+				case deg < opts.TargetDeg*0.9:
+					sched[i][d] *= opts.StepDown
+				}
+				if sched[i][d] > cfg.MaxFreqMHz {
+					sched[i][d] = cfg.MaxFreqMHz
+				}
+				if sched[i][d] < 250 {
+					sched[i][d] = 250
+				}
+			}
+		}
+		ctrl := NewOfflineController(name, sched)
+		cur = sim.Run(sim.Spec{
+			Config: cfg, Profile: prof, Window: window, Warmup: opts.Warmup,
+			IntervalLength: opts.IntervalLength,
+			Controller:     ctrl, InitialFreqMHz: ctrl.Initial(),
+			RecordIntervals: true, Name: name,
+		})
+		if deg2 := cur.TimePS/base.TimePS - 1; deg2 > opts.TargetDeg*0.9 && deg2 <= opts.TargetDeg*1.1 {
+			break
+		}
+	}
+	return NewOfflineController(name, sched), base
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"mcd/internal/clock"
+	"mcd/internal/pipeline"
+)
+
+func TestOfflineControllerSkipsWarmupIntervals(t *testing.T) {
+	sched := Schedule{
+		{1000, 1000, 1000, 1000},
+		{1000, 900, 800, 700},
+		{1000, 500, 400, 300},
+	}
+	o := NewOfflineController("test", sched)
+	warm := pipeline.IntervalView{Warmup: true}
+	for i := 0; i < 5; i++ {
+		if got := o.Observe(warm); got != ([clock.NumControllable]float64{}) {
+			t.Fatalf("warmup view %d produced targets %v", i, got)
+		}
+	}
+	// First measured interval must still receive schedule[1]: the warmup
+	// views did not advance the schedule.
+	if got := o.Observe(pipeline.IntervalView{}); got != sched[1] {
+		t.Errorf("first measured Observe = %v, want schedule[1] %v", got, sched[1])
+	}
+}
+
+func TestOfflineControllerEmptySchedule(t *testing.T) {
+	o := NewOfflineController("empty", nil)
+	if got := o.Initial(); got != ([clock.NumControllable]float64{}) {
+		t.Errorf("Initial on empty schedule = %v", got)
+	}
+	if got := o.Observe(pipeline.IntervalView{}); got != ([clock.NumControllable]float64{}) {
+		t.Errorf("Observe on empty schedule = %v", got)
+	}
+	if o.Name() != "empty" {
+		t.Errorf("name = %q", o.Name())
+	}
+}
+
+func TestAttackDecayEndstopDisabled(t *testing.T) {
+	p := DefaultParams()
+	p.EndstopCount = 0 // "infinite" endstop, which the paper found degrades the algorithm
+	a := NewAttackDecay(p)
+	// Pin at max with rising utilization for many intervals: without
+	// endstop forcing the frequency must never leave the maximum.
+	for i := 0; i < 40; i++ {
+		a.Observe(view(4, float64(10+i), 4, 2))
+	}
+	if f := a.domains[clock.FloatingPoint].freqMHz; f != 1000 {
+		t.Errorf("disabled endstop still forced a probe: %v", f)
+	}
+}
+
+func TestAttackDecayCustomSmoothing(t *testing.T) {
+	p := DefaultParams()
+	p.IPCSmoothing = 1.0 // no smoothing: EMA equals the raw IPC
+	p.RefIPCDecay = 1e-9 // reference effectively never decays
+	a := NewAttackDecay(p)
+	a.Observe(view(4, 4, 4, 2.0))
+	// IPC halves: guard must block the decay (ref stays near 2.0).
+	before := a.domains[clock.Integer].freqMHz
+	a.Observe(view(4, 4, 4, 1.0))
+	if after := a.domains[clock.Integer].freqMHz; after != before {
+		t.Errorf("decrease applied despite 50%% IPC drop: %v -> %v", before, after)
+	}
+}
+
+func TestAttackDecayNameIncludesParams(t *testing.T) {
+	a := NewAttackDecay(DefaultParams())
+	if a.Name() != "attack-decay-1.750_06.0_0.175_2.5" {
+		t.Errorf("name = %q", a.Name())
+	}
+}
+
+func TestScheduleClampRange(t *testing.T) {
+	// BuildOffline clamps schedules to [250,1000]; validate the clamp
+	// arithmetic at the boundaries via a direct mini-schedule sanity run.
+	sched := Schedule{{1000, 250, 1000, 250}}
+	o := NewOfflineController("clamped", sched)
+	init := o.Initial()
+	if init[clock.Integer] != 250 || init[clock.LoadStore] != 250 {
+		t.Errorf("initial = %v", init)
+	}
+}

@@ -1,0 +1,160 @@
+// Package dvfs implements the dynamic voltage and frequency scaling
+// substrate of the MCD processor: the table of discrete operating points
+// (320 frequency steps spanning 1.0 GHz down to 250 MHz with a linearly
+// corresponding voltage from 1.2 V down to 0.65 V) and the XScale-style
+// regulator that slews a domain's frequency toward its target at
+// 49.1 ns/MHz while the domain continues to execute.
+package dvfs
+
+import "math"
+
+// Default electrical parameters from Table 1 of the paper.
+const (
+	DefaultPoints       = 320  // discrete frequency points
+	DefaultMinFreqMHz   = 250  // lowest domain frequency
+	DefaultMaxFreqMHz   = 1000 // highest domain frequency
+	DefaultMinVoltage   = 0.65 // volts at the lowest frequency
+	DefaultMaxVoltage   = 1.20 // volts at the highest frequency
+	DefaultSlewNsPerMHz = 49.1 // XScale frequency change rate
+)
+
+// OperatingPoint is a legal (frequency, voltage) pair.
+type OperatingPoint struct {
+	FreqMHz float64
+	Voltage float64
+}
+
+// Scale is the table of legal operating points. Frequencies are linearly
+// spaced and voltage is a linear function of frequency, matching the
+// paper's model of the forthcoming TSMC CL010LP process.
+type Scale struct {
+	n          int
+	fmin, fmax float64
+	vmin, vmax float64
+}
+
+// NewScale builds a scale with n points spanning [fminMHz, fmaxMHz] and
+// voltages spanning [vmin, vmax]. NewScale panics if the ranges are
+// inverted or n < 2; the zero configuration is a programming error, not a
+// runtime condition.
+func NewScale(n int, fminMHz, fmaxMHz, vmin, vmax float64) *Scale {
+	if n < 2 || fminMHz <= 0 || fmaxMHz <= fminMHz || vmin <= 0 || vmax < vmin {
+		panic("dvfs: invalid scale parameters")
+	}
+	return &Scale{n: n, fmin: fminMHz, fmax: fmaxMHz, vmin: vmin, vmax: vmax}
+}
+
+// DefaultScale returns the paper's 320-point 250–1000 MHz, 0.65–1.2 V scale.
+func DefaultScale() *Scale {
+	return NewScale(DefaultPoints, DefaultMinFreqMHz, DefaultMaxFreqMHz,
+		DefaultMinVoltage, DefaultMaxVoltage)
+}
+
+// Points returns the number of discrete frequency points.
+func (s *Scale) Points() int { return s.n }
+
+// MinFreqMHz returns the lowest legal frequency.
+func (s *Scale) MinFreqMHz() float64 { return s.fmin }
+
+// MaxFreqMHz returns the highest legal frequency.
+func (s *Scale) MaxFreqMHz() float64 { return s.fmax }
+
+// StepMHz returns the spacing between adjacent frequency points.
+func (s *Scale) StepMHz() float64 { return (s.fmax - s.fmin) / float64(s.n-1) }
+
+// Clamp restricts f to the legal frequency range without quantizing.
+func (s *Scale) Clamp(fMHz float64) float64 {
+	return math.Min(s.fmax, math.Max(s.fmin, fMHz))
+}
+
+// Quantize returns the operating point nearest to fMHz, clamped to range.
+func (s *Scale) Quantize(fMHz float64) OperatingPoint {
+	f := s.Clamp(fMHz)
+	step := s.StepMHz()
+	idx := math.Round((f - s.fmin) / step)
+	qf := s.fmin + idx*step
+	return OperatingPoint{FreqMHz: qf, Voltage: s.VoltageAt(qf)}
+}
+
+// VoltageAt returns the supply voltage corresponding to frequency fMHz on
+// the linear frequency/voltage mapping. During a slewed transition the
+// voltage tracks the instantaneous frequency, which is how the XScale
+// executes through a change.
+func (s *Scale) VoltageAt(fMHz float64) float64 {
+	f := s.Clamp(fMHz)
+	frac := (f - s.fmin) / (s.fmax - s.fmin)
+	return s.vmin + frac*(s.vmax-s.vmin)
+}
+
+// Regulator slews one domain's frequency toward a target operating point.
+// The paper adopts the XScale model: the domain keeps executing during the
+// transition, frequency moves at a fixed rate (ns per MHz), and voltage
+// tracks frequency (dropping after it on the way down, rising with it on
+// the way up — both directions are modeled as the voltage of the
+// instantaneous frequency).
+type Regulator struct {
+	scale        *Scale
+	currentMHz   float64
+	targetMHz    float64
+	slewNsPerMHz float64
+	transitions  uint64
+}
+
+// NewRegulator returns a regulator pinned at startMHz (quantized) using the
+// given slew rate. A slew rate of zero makes changes instantaneous.
+func NewRegulator(scale *Scale, startMHz, slewNsPerMHz float64) *Regulator {
+	f := scale.Quantize(startMHz).FreqMHz
+	return &Regulator{scale: scale, currentMHz: f, targetMHz: f, slewNsPerMHz: slewNsPerMHz}
+}
+
+// Scale returns the operating-point table this regulator quantizes against.
+func (r *Regulator) Scale() *Scale { return r.scale }
+
+// SetTargetMHz starts a transition toward the operating point nearest f.
+// Setting the current target again is a no-op (and is not counted as a PLL
+// reprogramming).
+func (r *Regulator) SetTargetMHz(f float64) {
+	q := r.scale.Quantize(f).FreqMHz
+	if q == r.targetMHz {
+		return
+	}
+	r.targetMHz = q
+	r.transitions++
+}
+
+// TargetMHz returns the frequency the regulator is slewing toward.
+func (r *Regulator) TargetMHz() float64 { return r.targetMHz }
+
+// CurrentMHz returns the instantaneous frequency.
+func (r *Regulator) CurrentMHz() float64 { return r.currentMHz }
+
+// Voltage returns the instantaneous supply voltage.
+func (r *Regulator) Voltage() float64 { return r.scale.VoltageAt(r.currentMHz) }
+
+// Transitioning reports whether a frequency change is still in progress.
+func (r *Regulator) Transitioning() bool { return r.currentMHz != r.targetMHz }
+
+// Transitions returns how many times a new target has been requested; the
+// paper's sensitivity discussion uses this as a proxy for PLL/voltage
+// regulator activity.
+func (r *Regulator) Transitions() uint64 { return r.transitions }
+
+// Step advances the transition by dtPS picoseconds and returns the new
+// instantaneous frequency. With the default rate a full-range swing
+// (750 MHz) takes 750 × 49.1 ns ≈ 36.8 µs.
+func (r *Regulator) Step(dtPS float64) float64 {
+	if r.currentMHz == r.targetMHz {
+		return r.currentMHz
+	}
+	if r.slewNsPerMHz <= 0 {
+		r.currentMHz = r.targetMHz
+		return r.currentMHz
+	}
+	dMHz := (dtPS / 1000) / r.slewNsPerMHz
+	if r.currentMHz < r.targetMHz {
+		r.currentMHz = math.Min(r.targetMHz, r.currentMHz+dMHz)
+	} else {
+		r.currentMHz = math.Max(r.targetMHz, r.currentMHz-dMHz)
+	}
+	return r.currentMHz
+}

@@ -1,0 +1,179 @@
+package dvfs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultScaleEndpoints(t *testing.T) {
+	s := DefaultScale()
+	if s.Points() != 320 {
+		t.Fatalf("points = %d, want 320", s.Points())
+	}
+	lo := s.Quantize(0)
+	if lo.FreqMHz != 250 || math.Abs(lo.Voltage-0.65) > 1e-12 {
+		t.Errorf("low point = %+v, want 250 MHz / 0.65 V", lo)
+	}
+	hi := s.Quantize(5000)
+	if hi.FreqMHz != 1000 || math.Abs(hi.Voltage-1.20) > 1e-12 {
+		t.Errorf("high point = %+v, want 1000 MHz / 1.20 V", hi)
+	}
+}
+
+func TestScaleStepSpacing(t *testing.T) {
+	s := DefaultScale()
+	want := 750.0 / 319.0
+	if math.Abs(s.StepMHz()-want) > 1e-9 {
+		t.Errorf("step = %v MHz, want %v", s.StepMHz(), want)
+	}
+}
+
+func TestQuantizeSnapsToNearest(t *testing.T) {
+	s := DefaultScale()
+	step := s.StepMHz()
+	f := 250 + 10*step + 0.4*step
+	if got := s.Quantize(f).FreqMHz; math.Abs(got-(250+10*step)) > 1e-9 {
+		t.Errorf("quantize(%v) = %v, want %v", f, got, 250+10*step)
+	}
+	f = 250 + 10*step + 0.6*step
+	if got := s.Quantize(f).FreqMHz; math.Abs(got-(250+11*step)) > 1e-9 {
+		t.Errorf("quantize(%v) = %v, want %v", f, got, 250+11*step)
+	}
+}
+
+func TestVoltageLinearMidpoint(t *testing.T) {
+	s := DefaultScale()
+	if v := s.VoltageAt(625); math.Abs(v-0.925) > 1e-12 {
+		t.Errorf("voltage at 625 MHz = %v, want 0.925", v)
+	}
+}
+
+func TestNewScalePanicsOnBadParams(t *testing.T) {
+	cases := []func(){
+		func() { NewScale(1, 250, 1000, 0.65, 1.2) },
+		func() { NewScale(320, 1000, 250, 0.65, 1.2) },
+		func() { NewScale(320, 250, 1000, 1.2, 0.65) },
+		func() { NewScale(320, 0, 1000, 0.65, 1.2) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRegulatorSlewDuration(t *testing.T) {
+	r := NewRegulator(DefaultScale(), 1000, DefaultSlewNsPerMHz)
+	r.SetTargetMHz(250)
+	if !r.Transitioning() {
+		t.Fatal("regulator should be transitioning")
+	}
+	// Full swing is 750 MHz * 49.1 ns/MHz = 36,825 ns.
+	var elapsedPS float64
+	const dt = 1000.0 // 1 ns steps
+	for r.Transitioning() {
+		r.Step(dt)
+		elapsedPS += dt
+		if elapsedPS > 1e9 {
+			t.Fatal("transition never completed")
+		}
+	}
+	wantNS := 750 * 49.1
+	if gotNS := elapsedPS / 1000; math.Abs(gotNS-wantNS) > 2 {
+		t.Errorf("transition took %v ns, want ~%v", gotNS, wantNS)
+	}
+	if r.CurrentMHz() != 250 {
+		t.Errorf("final frequency %v, want 250", r.CurrentMHz())
+	}
+}
+
+func TestRegulatorUpwardSlew(t *testing.T) {
+	r := NewRegulator(DefaultScale(), 250, DefaultSlewNsPerMHz)
+	r.SetTargetMHz(500)
+	prevV := r.Voltage()
+	for r.Transitioning() {
+		r.Step(49.1 * 1000) // exactly 1 MHz per step
+		if v := r.Voltage(); v < prevV {
+			t.Fatal("voltage decreased during upward transition")
+		} else {
+			prevV = v
+		}
+	}
+	got := r.CurrentMHz()
+	want := DefaultScale().Quantize(500).FreqMHz
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("final = %v, want %v", got, want)
+	}
+}
+
+func TestRegulatorZeroSlewIsInstant(t *testing.T) {
+	r := NewRegulator(DefaultScale(), 1000, 0)
+	r.SetTargetMHz(250)
+	r.Step(1)
+	if r.CurrentMHz() != 250 {
+		t.Errorf("instant regulator at %v, want 250", r.CurrentMHz())
+	}
+}
+
+func TestRegulatorTransitionCountIgnoresNoops(t *testing.T) {
+	r := NewRegulator(DefaultScale(), 1000, DefaultSlewNsPerMHz)
+	r.SetTargetMHz(1000) // same point: no-op
+	if r.Transitions() != 0 {
+		t.Errorf("transitions = %d, want 0", r.Transitions())
+	}
+	r.SetTargetMHz(900)
+	r.SetTargetMHz(900) // quantizes to the same point: no-op
+	if r.Transitions() != 1 {
+		t.Errorf("transitions = %d, want 1", r.Transitions())
+	}
+}
+
+// Property: quantize is idempotent and always lands on a legal point with
+// the voltage given by the linear map.
+func TestQuantizeIdempotentProperty(t *testing.T) {
+	s := DefaultScale()
+	f := func(raw float64) bool {
+		fMHz := math.Mod(math.Abs(raw), 2000)
+		p := s.Quantize(fMHz)
+		q := s.Quantize(p.FreqMHz)
+		if math.Abs(p.FreqMHz-q.FreqMHz) > 1e-9 {
+			return false
+		}
+		if p.FreqMHz < 250-1e-9 || p.FreqMHz > 1000+1e-9 {
+			return false
+		}
+		return math.Abs(p.Voltage-s.VoltageAt(p.FreqMHz)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stepping never overshoots the target.
+func TestRegulatorNeverOvershootsProperty(t *testing.T) {
+	s := DefaultScale()
+	f := func(startSel, targetSel uint16, dtRaw uint32) bool {
+		start := 250 + float64(startSel%320)*s.StepMHz()
+		target := 250 + float64(targetSel%320)*s.StepMHz()
+		dt := float64(dtRaw%1000000) + 1
+		r := NewRegulator(s, start, DefaultSlewNsPerMHz)
+		r.SetTargetMHz(target)
+		lo, hi := math.Min(start, target), math.Max(start, target)
+		for i := 0; i < 200 && r.Transitioning(); i++ {
+			c := r.Step(dt)
+			if c < lo-1e-9 || c > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,77 @@
+// Package hw reproduces Table 3 of the paper: equivalent-gate estimates
+// for the hardware needed to implement the Attack/Decay algorithm, using
+// the per-bit gate costs of Zimmermann's computer-arithmetic notes. The
+// paper assumes 16-bit devices for all datapath components, a 14-bit
+// interval counter estimated at n=16, and 4-bit endstop counters.
+package hw
+
+// Component is one row of Table 3.
+type Component struct {
+	Name       string
+	Estimation string // the formula as printed in the paper
+	Bits       int    // n used in the estimate
+	GatesPerN  int    // gate cost per bit
+	PerDomain  bool   // required once per controlled domain
+	Count      int    // instances per domain (or globally)
+}
+
+// Gates returns the equivalent gate count for this component.
+func (c Component) Gates() int { return c.GatesPerN * c.Bits * c.Count }
+
+// Components returns the Table 3 rows.
+func Components() []Component {
+	return []Component{
+		{
+			Name:       "Queue Utilization Counter (Accumulator)",
+			Estimation: "7n (Adder) + 4n (D Flip-Flop) = 11n",
+			Bits:       16, GatesPerN: 11, PerDomain: true, Count: 1,
+		},
+		{
+			Name:       "Comparators (2 required)",
+			Estimation: "6n x 2 = 12n",
+			Bits:       16, GatesPerN: 6, PerDomain: true, Count: 2,
+		},
+		{
+			Name:       "Multiplier (partial-product accumulation)",
+			Estimation: "1n (Multiplier) + 4n (D Flip-Flop) = 5n",
+			Bits:       16, GatesPerN: 5, PerDomain: true, Count: 1,
+		},
+		{
+			Name:       "Interval Counter (14-bit)",
+			Estimation: "3n (Half-adder) + 4n (D Flip-Flop) = 7n",
+			Bits:       16, GatesPerN: 7, PerDomain: false, Count: 1,
+		},
+		{
+			Name:       "Endstop Counter (4-bit)",
+			Estimation: "3n (Half-adder) + 4n (D Flip-Flop) = 7n",
+			Bits:       4, GatesPerN: 7, PerDomain: true, Count: 1,
+		},
+	}
+}
+
+// GatesPerDomain returns the per-domain gate cost (paper: 476, including
+// full magnitude comparators).
+func GatesPerDomain() int {
+	var total int
+	for _, c := range Components() {
+		if c.PerDomain {
+			total += c.Gates()
+		}
+	}
+	return total
+}
+
+// TotalGates returns the cost of controlling the given number of domains
+// plus the shared interval counter (paper: fewer than 2,500 gates for a
+// four-domain MCD processor).
+func TotalGates(domains int) int {
+	total := 0
+	for _, c := range Components() {
+		if c.PerDomain {
+			total += c.Gates() * domains
+		} else {
+			total += c.Gates()
+		}
+	}
+	return total
+}

@@ -1,0 +1,38 @@
+package hw
+
+import "testing"
+
+// Table 3 of the paper gives the exact expected gate counts.
+func TestTable3RowGateCounts(t *testing.T) {
+	want := map[string]int{
+		"Queue Utilization Counter (Accumulator)":   176,
+		"Comparators (2 required)":                  192,
+		"Multiplier (partial-product accumulation)": 80,
+		"Interval Counter (14-bit)":                 112,
+		"Endstop Counter (4-bit)":                   28,
+	}
+	for _, c := range Components() {
+		if got := c.Gates(); got != want[c.Name] {
+			t.Errorf("%s: gates = %d, want %d", c.Name, got, want[c.Name])
+		}
+		if c.Estimation == "" {
+			t.Errorf("%s: missing estimation formula", c.Name)
+		}
+	}
+}
+
+func TestGatesPerDomain(t *testing.T) {
+	if got := GatesPerDomain(); got != 476 {
+		t.Errorf("per-domain gates = %d, want 476 (paper Section 3.2)", got)
+	}
+}
+
+func TestTotalGatesUnder2500(t *testing.T) {
+	got := TotalGates(4)
+	if want := 4*476 + 112; got != want {
+		t.Errorf("total = %d, want %d", got, want)
+	}
+	if got >= 2500 {
+		t.Errorf("total = %d, paper promises fewer than 2,500", got)
+	}
+}

@@ -1,0 +1,699 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mcd/internal/branch"
+	"mcd/internal/cache"
+	"mcd/internal/clock"
+	"mcd/internal/dvfs"
+	"mcd/internal/power"
+	"mcd/internal/queue"
+	"mcd/internal/stats"
+	"mcd/internal/workload"
+)
+
+// execDomain maps an instruction class to the domain that executes it.
+// Branches resolve on the integer ALUs, as in the Alpha 21264.
+func execDomain(c workload.Class) clock.Domain {
+	switch {
+	case c.FP():
+		return clock.FloatingPoint
+	case c.Memory():
+		return clock.LoadStore
+	default:
+		return clock.Integer
+	}
+}
+
+// writesInt reports whether the class allocates an integer rename register.
+func writesInt(c workload.Class) bool {
+	return c == workload.IntALU || c == workload.IntMul || c == workload.Load
+}
+
+// writesFP reports whether the class allocates an FP rename register.
+func writesFP(c workload.Class) bool { return c.FP() }
+
+type storeRec struct {
+	block  uint64
+	issued bool
+}
+
+// Core is one simulated processor instance. It is single-use: construct,
+// Run once, read the Result.
+type Core struct {
+	cfg  Config
+	gen  workload.Generator
+	opts RunOptions
+
+	sched *clock.Scheduler
+	regs  [clock.NumControllable]*dvfs.Regulator
+	last  [clock.NumControllable]float64
+
+	meter *power.Meter
+	pred  *branch.Predictor
+	hier  *cache.Hierarchy
+
+	iiq  *queue.IssueQueue
+	fiq  *queue.IssueQueue
+	lsq  *queue.LSQ
+	rob  *queue.ROB
+	ring *queue.CompletionRing
+
+	intRegsFree int
+	fpRegsFree  int
+
+	pending    workload.Instr
+	havePend   bool
+	genDone    bool
+	fetchStall float64 // no fetch before this time (I-cache miss service)
+	branchSeq  int64   // unresolved mispredicted branch (-1: none)
+	fetchBlock uint64  // current I-cache block (+1; 0 = none)
+
+	retired    uint64
+	lastRetire float64
+
+	// Warmup bookkeeping: measurement starts at the mark.
+	marked     bool
+	markTime   float64
+	markEnergy [clock.NumDomains]float64
+	markClock  float64
+
+	// Interval accumulation.
+	ivStart  float64
+	ivIndex  int
+	occupSum [clock.NumControllable]float64
+	ivTicks  [clock.NumControllable]float64
+	nextIvAt uint64
+
+	freqIntegral [clock.NumControllable]float64
+
+	selBuf   []queue.Entry
+	storeBuf []storeRec
+
+	intervals []stats.Interval
+}
+
+// New builds a core over the given workload generator.
+func New(cfg Config, gen workload.Generator) *Core {
+	return &Core{cfg: cfg, gen: gen, branchSeq: -1}
+}
+
+// Run simulates until opts.Window instructions retire (or the workload is
+// exhausted) and returns the measurements.
+func (c *Core) Run(opts RunOptions) stats.Result {
+	c.opts = opts
+	if c.opts.IntervalLength == 0 {
+		c.opts.IntervalLength = 10_000
+	}
+	cfg := c.cfg
+
+	scale := dvfs.DefaultScale()
+	clocks := make([]*clock.Clock, clock.NumControllable)
+	jitter := cfg.JitterPS
+	if cfg.SingleClock {
+		jitter = 0
+	}
+	for d := 0; d < clock.NumControllable; d++ {
+		f := opts.InitialFreqMHz[d]
+		if f == 0 {
+			f = cfg.MaxFreqMHz
+		}
+		c.regs[d] = dvfs.NewRegulator(scale, f, cfg.SlewNsPerMHz)
+		// All PLLs derive from one reference oscillator, so domain clocks
+		// start phase aligned; window violations then come from jitter
+		// and inter-domain rate differences, the two penalty sources the
+		// paper's clocking model describes.
+		var jrng *rand.Rand
+		if jitter > 0 {
+			jrng = rand.New(rand.NewSource(cfg.Seed + int64(d)*7919))
+		}
+		clocks[d] = clock.New(c.regs[d].CurrentMHz(), jitter, 0, jrng)
+	}
+	c.sched = clock.NewScheduler(clocks)
+
+	c.meter = power.NewMeter(power.DefaultParams(), !cfg.SingleClock)
+	c.pred = branch.New(branch.DefaultConfig())
+	c.hier = cache.DefaultHierarchy()
+	c.iiq = queue.NewIssueQueue(cfg.IntIQSize)
+	c.fiq = queue.NewIssueQueue(cfg.FPIQSize)
+	c.lsq = queue.NewLSQ(cfg.LSQSize, cfg.CacheBlockBytes)
+	c.rob = queue.NewROB(cfg.ROBSize)
+	c.ring = queue.NewCompletionRing(1024)
+	c.intRegsFree = cfg.IntRenameRegs
+	c.fpRegsFree = cfg.FPRenameRegs
+	c.nextIvAt = c.opts.IntervalLength
+	if opts.Warmup == 0 {
+		c.marked = true
+	}
+
+	total := opts.Warmup + opts.Window
+	var now float64
+	for c.retired < total {
+		d, t := c.sched.Advance()
+		now = t
+		dt := t - c.last[d]
+		if dt < 0 {
+			dt = 0
+		}
+		f := c.regs[d].Step(dt)
+		c.sched.Clock(d).SetFrequencyMHz(f)
+		c.freqIntegral[d] += f * dt
+		c.last[d] = t
+
+		switch d {
+		case clock.FrontEnd:
+			c.feTick(t)
+		case clock.Integer:
+			c.intTick(t)
+		case clock.FloatingPoint:
+			c.fpTick(t)
+		case clock.LoadStore:
+			c.lsTick(t)
+		}
+
+		if t-c.lastRetire > 5e8 && c.retired > 0 {
+			panic(fmt.Sprintf("pipeline: no retirement for 0.5 ms at t=%.0f ps (retired %d/%d, rob=%d iiq=%d fiq=%d lsq=%d)",
+				t, c.retired, total, c.rob.Len(), c.iiq.Len(), c.fiq.Len(), c.lsq.Len()))
+		}
+		if c.genDone && c.rob.Len() == 0 {
+			break // workload shorter than the window
+		}
+	}
+
+	measured := c.retired
+	if measured > opts.Warmup {
+		measured -= opts.Warmup
+	}
+	span := now - c.markTime
+	res := stats.Result{
+		Benchmark:    c.gen.Name(),
+		Config:       opts.ConfigName,
+		Instructions: measured,
+		TimePS:       span,
+		Intervals:    c.intervals,
+	}
+	for d := clock.Domain(0); d < clock.NumDomains; d++ {
+		res.DomainEnergyPJ[d] = c.meter.DomainPJ(d) - c.markEnergy[d]
+		res.EnergyPJ += res.DomainEnergyPJ[d]
+	}
+	for d := 0; d < clock.NumControllable; d++ {
+		if span > 0 {
+			res.AvgFreqMHz[d] = c.freqIntegral[d] / span
+		}
+		res.Transitions += c.regs[d].Transitions()
+	}
+	res.BranchAccuracy = c.pred.Stats().Accuracy()
+	res.L1DMissRate = c.hier.L1D.Stats().MissRate()
+	res.L2MissRate = c.hier.L2C.Stats().MissRate()
+	return res
+}
+
+func (c *Core) peek() (*workload.Instr, bool) {
+	if !c.havePend && !c.genDone {
+		if c.gen.Next(&c.pending) {
+			c.havePend = true
+		} else {
+			c.genDone = true
+		}
+	}
+	if c.havePend {
+		return &c.pending, true
+	}
+	return nil, false
+}
+
+// xvisible returns the earliest time a datum completed at done in domain
+// from can be used by domain to. Within a domain (and in the fully
+// synchronous configuration) the completion time itself is the bypass
+// point. Across domains, the wakeup broadcast is launched one producer
+// cycle before the result registers (standard speculative wakeup, which
+// lets dependents issue back to back), and the Sjogren–Myers arbitration
+// requires the destination edge to trail that launch by the
+// synchronization window. Penalties therefore arise from window
+// violations (clock jitter) and from inter-domain rate differences — the
+// two sources the paper's clocking model describes.
+func (c *Core) xvisible(done float64, from, to clock.Domain) float64 {
+	if c.cfg.SingleClock || from == to {
+		// Completion times are computed as issue edge + latency×period,
+		// so they carry the issuing edge's jitter while the consuming
+		// edge carries its own; a half-cycle guard keeps the edge-count
+		// semantics (back-to-back issue at the L-th following edge)
+		// independent of jitter.
+		return done - 0.5*c.sched.Clock(from).PeriodPS()
+	}
+	return done - c.sched.Clock(from).PeriodPS() + c.cfg.SyncWindowPS
+}
+
+// srcReady reports whether producer src's result is visible in domain at
+// time now.
+func (c *Core) srcReady(src int64, domain clock.Domain, now float64) bool {
+	if src < 0 {
+		return true
+	}
+	done, prodDom := c.ring.Lookup(uint64(src))
+	return now >= c.xvisible(done, clock.Domain(prodDom), domain)
+}
+
+func (c *Core) complete(seq uint64, at float64) {
+	c.ring.Complete(seq, at)
+	c.rob.Complete(seq, at)
+}
+
+func src(seq uint64, dist uint32) int64 {
+	if dist == 0 {
+		return queue.None
+	}
+	return int64(seq - uint64(dist))
+}
+
+// ---------------------------------------------------------------- front end
+
+func (c *Core) feTick(t float64) {
+	v := c.regs[clock.FrontEnd].Voltage()
+	active := false
+
+	// Retire in order, up to RetireWidth, as results become visible to the
+	// front end (the ROB lives there).
+	for n := 0; n < c.cfg.RetireWidth; n++ {
+		h := c.rob.Head()
+		if h == nil {
+			break
+		}
+		if t < c.xvisible(h.DoneAt, clock.Domain(h.Domain), clock.FrontEnd) {
+			break
+		}
+		if h.Class.Memory() {
+			c.lsq.Retire(h.Seq)
+		}
+		if writesInt(h.Class) {
+			c.intRegsFree++
+		} else if writesFP(h.Class) {
+			c.fpRegsFree++
+		}
+		c.meter.Access(power.ROB, v, 1)
+		c.rob.Pop()
+		c.retired++
+		c.lastRetire = t
+		active = true
+		if !c.marked && c.retired >= c.opts.Warmup {
+			c.mark(t)
+		}
+	}
+	for c.retired >= c.nextIvAt {
+		c.emitInterval(t)
+	}
+
+	// Resolve an outstanding mispredicted branch: fetch resumes a fixed
+	// penalty after the resolution becomes visible in the front end.
+	if c.branchSeq >= 0 {
+		done, dom := c.ring.Lookup(uint64(c.branchSeq))
+		if !math.IsInf(done, 1) {
+			resume := c.xvisible(done, clock.Domain(dom), clock.FrontEnd) +
+				float64(c.cfg.MispredictPenalty)*c.sched.Clock(clock.FrontEnd).PeriodPS()
+			if t >= resume {
+				c.branchSeq = -1
+			}
+		}
+	}
+
+	if c.branchSeq < 0 && t >= c.fetchStall {
+		c.fetch(t, v, &active)
+	}
+
+	c.meter.ClockTick(clock.FrontEnd, v, active)
+}
+
+func (c *Core) fetch(t float64, v float64, active *bool) {
+	cfg := &c.cfg
+	for n := 0; n < cfg.DecodeWidth; n++ {
+		in, ok := c.peek()
+		if !ok {
+			return
+		}
+		// Structural resources must all be available before rename.
+		if c.rob.Free() == 0 {
+			return
+		}
+		switch {
+		case in.Class.FP():
+			if c.fiq.Free() == 0 {
+				return
+			}
+		case in.Class.Memory():
+			if c.lsq.Free() == 0 {
+				return
+			}
+		default:
+			if c.iiq.Free() == 0 {
+				return
+			}
+		}
+		if writesInt(in.Class) && c.intRegsFree == 0 {
+			return
+		}
+		if writesFP(in.Class) && c.fpRegsFree == 0 {
+			return
+		}
+
+		// Instruction cache: one access per fetch block. A miss stalls
+		// fetch while the L2 (load/store domain) or memory services it.
+		blk := in.PC>>6 + 1
+		if blk != c.fetchBlock {
+			c.fetchBlock = blk
+			c.meter.Access(power.ICache, v, 1)
+			lvl, l2 := c.hier.Inst(in.PC)
+			if l2 {
+				lsV := c.regs[clock.LoadStore].Voltage()
+				c.meter.Access(power.L2Cache, lsV, 1)
+			}
+			if lvl != cache.L1 {
+				lsPeriod := c.sched.Clock(clock.LoadStore).PeriodPS()
+				var cross float64
+				if !cfg.SingleClock {
+					cross = 2 * cfg.SyncWindowPS // request and fill crossings
+				}
+				stall := cross + float64(cfg.L2Lat)*lsPeriod
+				if lvl == cache.Mem {
+					stall += cfg.MemLatPS
+				}
+				c.fetchStall = t + stall
+				return // instruction not consumed; retried after the fill
+			}
+		}
+
+		c.havePend = false // consume
+		*active = true
+		seq := in.Seq
+		dom := execDomain(in.Class)
+		c.ring.Dispatch(seq, uint8(dom))
+		c.rob.Push(queue.ROBEntry{Seq: seq, DoneAt: math.Inf(1), Domain: uint8(dom), Class: in.Class})
+		// A dispatched entry is consumable at the destination's next edge
+		// (one-cycle dispatch-to-issue in the synchronous machine); across
+		// clock domains the interface FIFO additionally imposes the
+		// synchronization window on that edge.
+		vis := t + 0.5*c.sched.Clock(clock.FrontEnd).PeriodPS()
+		if !c.cfg.SingleClock {
+			vis = t + c.cfg.SyncWindowPS
+		}
+		s1, s2 := src(seq, in.Dep1), src(seq, in.Dep2)
+
+		switch {
+		case in.Class.Memory():
+			c.lsq.Push(queue.LSQEntry{
+				Seq: seq, IsStore: in.Class == workload.Store, Addr: in.Addr,
+				Src1: s1, Src2: s2, VisibleAt: vis, DoneAt: math.Inf(1),
+			})
+		case in.Class.FP():
+			c.fiq.Push(queue.Entry{Seq: seq, Class: in.Class, Src1: s1, Src2: s2, VisibleAt: vis})
+		default:
+			c.iiq.Push(queue.Entry{Seq: seq, Class: in.Class, Src1: s1, Src2: s2, VisibleAt: vis})
+		}
+		if writesInt(in.Class) {
+			c.intRegsFree--
+		} else if writesFP(in.Class) {
+			c.fpRegsFree--
+		}
+		c.meter.Access(power.Rename, v, 1)
+		c.meter.Access(power.ROB, v, 1)
+
+		if in.Class == workload.Branch {
+			c.meter.Access(power.BPred, v, 1)
+			c.meter.Access(power.BTB, v, 1)
+			correct := c.pred.Update(in.PC, in.Taken)
+			btbHit := true
+			if in.Taken {
+				_, btbHit = c.pred.Target(in.PC)
+				c.pred.SetTarget(in.PC, in.Target)
+			}
+			if !correct || !btbHit {
+				// Mispredict: fetch stops until the branch resolves in
+				// the integer domain plus the recovery penalty.
+				c.branchSeq = int64(seq)
+				return
+			}
+			if in.Taken {
+				return // fetch discontinuity ends the fetch group
+			}
+		}
+	}
+}
+
+// ------------------------------------------------------------- integer side
+
+func (c *Core) intTick(t float64) {
+	d := clock.Integer
+	v := c.regs[d].Voltage()
+	period := c.sched.Clock(d).PeriodPS()
+	occ := c.iiq.Len()
+	c.occupSum[d] += float64(occ)
+	c.ivTicks[d]++
+	c.meter.Access(power.IntCAM, v, occ)
+
+	issued := 0
+	ready := func(e *queue.Entry) bool {
+		return e.VisibleAt <= t && c.srcReady(e.Src1, d, t) && c.srcReady(e.Src2, d, t)
+	}
+
+	c.selBuf = c.iiq.Select(c.cfg.IntALUs, func(e *queue.Entry) bool {
+		return e.Class != workload.IntMul && ready(e)
+	}, c.selBuf[:0])
+	for i := range c.selBuf {
+		e := &c.selBuf[i]
+		c.complete(e.Seq, t+float64(c.cfg.IntALULat)*period)
+		c.chargeIssue(power.IntIQ, power.IntRF, power.IntALU, v, e.Src1, e.Src2, e.Class != workload.Branch)
+	}
+	issued += len(c.selBuf)
+
+	c.selBuf = c.iiq.Select(c.cfg.IntMuls, func(e *queue.Entry) bool {
+		return e.Class == workload.IntMul && ready(e)
+	}, c.selBuf[:0])
+	for i := range c.selBuf {
+		e := &c.selBuf[i]
+		c.complete(e.Seq, t+float64(c.cfg.IntMulLat)*period)
+		c.chargeIssue(power.IntIQ, power.IntRF, power.IntMul, v, e.Src1, e.Src2, true)
+	}
+	issued += len(c.selBuf)
+
+	c.meter.ClockTick(d, v, issued > 0 || occ > 0)
+}
+
+// chargeIssue accounts the energy of issuing one instruction: issue-queue
+// access, register-file reads for present sources, the functional-unit
+// operation, and the result write (when the instruction produces one).
+func (c *Core) chargeIssue(iq, rf, fu power.Component, v float64, s1, s2 int64, writes bool) {
+	c.meter.Access(iq, v, 1)
+	reads := 0
+	if s1 != queue.None {
+		reads++
+	}
+	if s2 != queue.None {
+		reads++
+	}
+	c.meter.Access(rf, v, reads)
+	c.meter.Access(fu, v, 1)
+	if writes {
+		c.meter.Access(rf, v, 1)
+	}
+}
+
+// ------------------------------------------------------- floating-point side
+
+func (c *Core) fpTick(t float64) {
+	d := clock.FloatingPoint
+	v := c.regs[d].Voltage()
+	period := c.sched.Clock(d).PeriodPS()
+	occ := c.fiq.Len()
+	c.occupSum[d] += float64(occ)
+	c.ivTicks[d]++
+	c.meter.Access(power.FPCAM, v, occ)
+
+	issued := 0
+	ready := func(e *queue.Entry) bool {
+		return e.VisibleAt <= t && c.srcReady(e.Src1, d, t) && c.srcReady(e.Src2, d, t)
+	}
+
+	c.selBuf = c.fiq.Select(c.cfg.FPALUs, func(e *queue.Entry) bool {
+		return e.Class == workload.FPAdd && ready(e)
+	}, c.selBuf[:0])
+	for i := range c.selBuf {
+		e := &c.selBuf[i]
+		c.complete(e.Seq, t+float64(c.cfg.FPALULat)*period)
+		c.chargeIssue(power.FPIQ, power.FPRF, power.FPALU, v, e.Src1, e.Src2, true)
+	}
+	issued += len(c.selBuf)
+
+	c.selBuf = c.fiq.Select(c.cfg.FPMuls, func(e *queue.Entry) bool {
+		return (e.Class == workload.FPMul || e.Class == workload.FPDiv) && ready(e)
+	}, c.selBuf[:0])
+	for i := range c.selBuf {
+		e := &c.selBuf[i]
+		lat := c.cfg.FPMulLat
+		if e.Class == workload.FPDiv {
+			lat = c.cfg.FPDivLat
+		}
+		c.complete(e.Seq, t+float64(lat)*period)
+		c.chargeIssue(power.FPIQ, power.FPRF, power.FPMul, v, e.Src1, e.Src2, true)
+	}
+	issued += len(c.selBuf)
+
+	c.meter.ClockTick(d, v, issued > 0 || occ > 0)
+}
+
+// ----------------------------------------------------------- load/store side
+
+func (c *Core) lsTick(t float64) {
+	d := clock.LoadStore
+	v := c.regs[d].Voltage()
+	period := c.sched.Clock(d).PeriodPS()
+	entries := c.lsq.Entries()
+	occ := len(entries)
+	c.occupSum[d] += float64(occ)
+	c.ivTicks[d]++
+	c.meter.Access(power.LSQCAM, v, occ)
+
+	ports := c.cfg.MemPorts
+	issuedAny := false
+	c.storeBuf = c.storeBuf[:0]
+	allIssued := true // all older stores issued so far in the scan
+
+	for i := range entries {
+		e := &entries[i]
+		if e.IsStore {
+			if !e.Issued && ports > 0 && e.VisibleAt <= t &&
+				c.srcReady(e.Src1, d, t) && c.srcReady(e.Src2, d, t) {
+				// Address resolution; data is written at retirement, but
+				// the access energy belongs to the store.
+				e.Issued = true
+				e.DoneAt = t + period
+				c.complete(e.Seq, e.DoneAt)
+				_, l2 := c.hier.Data(e.Addr)
+				c.meter.Access(power.LSQ, v, 1)
+				c.meter.Access(power.DCache, v, 1)
+				if l2 {
+					c.meter.Access(power.L2Cache, v, 1)
+				}
+				ports--
+				issuedAny = true
+			}
+			c.storeBuf = append(c.storeBuf, storeRec{block: e.Block, issued: e.Issued})
+			if !e.Issued {
+				allIssued = false
+			}
+			continue
+		}
+
+		if e.Issued || ports == 0 {
+			continue
+		}
+		if e.VisibleAt > t || !c.srcReady(e.Src1, d, t) || !c.srcReady(e.Src2, d, t) {
+			continue
+		}
+		// Loads wait until every older store address is known, then
+		// forward from the youngest matching store or access the cache.
+		if !allIssued {
+			continue
+		}
+		forwarded := false
+		for j := len(c.storeBuf) - 1; j >= 0; j-- {
+			if c.storeBuf[j].block == e.Block {
+				forwarded = true
+				break
+			}
+		}
+		e.Issued = true
+		issuedAny = true
+		ports--
+		c.meter.Access(power.LSQ, v, 1)
+		if forwarded {
+			e.DoneAt = t + period
+			c.complete(e.Seq, e.DoneAt)
+			continue
+		}
+		lvl, l2 := c.hier.Data(e.Addr)
+		cycles := c.cfg.L1Lat
+		var extra float64
+		if lvl != cache.L1 {
+			cycles += c.cfg.L2Lat
+		}
+		if lvl == cache.Mem {
+			extra = c.cfg.MemLatPS
+		}
+		e.DoneAt = t + float64(cycles)*period + extra
+		c.complete(e.Seq, e.DoneAt)
+		c.meter.Access(power.DCache, v, 1)
+		if l2 {
+			c.meter.Access(power.L2Cache, v, 1)
+		}
+	}
+
+	c.meter.ClockTick(d, v, issuedAny || occ > 0)
+}
+
+// mark begins the measured region: energy, time, frequency integrals and
+// interval accumulators all restart here, so warmup (cache/predictor
+// training) does not contaminate the measurements.
+func (c *Core) mark(t float64) {
+	c.marked = true
+	c.markTime = t
+	for d := clock.Domain(0); d < clock.NumDomains; d++ {
+		c.markEnergy[d] = c.meter.DomainPJ(d)
+	}
+	c.markClock = c.meter.ClockPJ()
+	c.ivStart = t
+	c.ivIndex = 0
+	c.nextIvAt = c.retired + c.opts.IntervalLength
+	for d := 0; d < clock.NumControllable; d++ {
+		c.freqIntegral[d] = 0
+		c.occupSum[d] = 0
+		c.ivTicks[d] = 0
+	}
+}
+
+// ----------------------------------------------------------------- intervals
+
+func (c *Core) emitInterval(t float64) {
+	ivLen := c.opts.IntervalLength
+	iv := IntervalView{
+		Index:        c.ivIndex,
+		Instructions: ivLen,
+		EndPS:        t,
+		Warmup:       !c.marked,
+	}
+	for d := 0; d < clock.NumControllable; d++ {
+		iv.QueueUtil[d] = c.occupSum[d] / float64(ivLen)
+		if c.ivTicks[d] > 0 {
+			iv.QueueAvg[d] = c.occupSum[d] / c.ivTicks[d]
+		}
+		iv.FreqMHz[d] = c.regs[d].TargetMHz()
+		c.occupSum[d] = 0
+		c.ivTicks[d] = 0
+	}
+	if dt := t - c.ivStart; dt > 0 {
+		iv.IPC = float64(ivLen) / (dt / 1000)
+	}
+	if c.opts.Controller != nil {
+		targets := c.opts.Controller.Observe(iv)
+		for d := 0; d < clock.NumControllable; d++ {
+			if targets[d] > 0 {
+				c.regs[d].SetTargetMHz(targets[d])
+			}
+		}
+	}
+	if c.opts.RecordIntervals && c.marked {
+		c.intervals = append(c.intervals, stats.Interval{
+			Index:        iv.Index,
+			Instructions: iv.Instructions,
+			EndPS:        iv.EndPS,
+			QueueUtil:    iv.QueueUtil,
+			QueueAvg:     iv.QueueAvg,
+			FreqMHz:      iv.FreqMHz,
+			IPC:          iv.IPC,
+		})
+	}
+	c.ivStart = t
+	c.ivIndex++
+	c.nextIvAt += ivLen
+}

@@ -1,0 +1,238 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"mcd/internal/clock"
+	"mcd/internal/stats"
+	"mcd/internal/workload"
+)
+
+func intProfile(seed int64) workload.Profile {
+	return workload.Profile{
+		Name: "int-test", Seed: seed,
+		Phases: []workload.Phase{{
+			Mix:        workload.Mix{IntALU: 0.55, IntMul: 0.03, Load: 0.2, Store: 0.08, Branch: 0.14},
+			WorkingSet: 32 << 10, StrideFrac: 0.9,
+		}},
+	}
+}
+
+func fpProfile(seed int64) workload.Profile {
+	return workload.Profile{
+		Name: "fp-test", Seed: seed,
+		Phases: []workload.Phase{{
+			Mix: workload.Mix{IntALU: 0.3, FPAdd: 0.22, FPMul: 0.13, FPDiv: 0.02,
+				Load: 0.2, Store: 0.08, Branch: 0.05},
+			WorkingSet: 64 << 10, StrideFrac: 0.9,
+		}},
+	}
+}
+
+func run(t *testing.T, prof workload.Profile, cfg Config, opts RunOptions) stats.Result {
+	t.Helper()
+	if opts.Window == 0 {
+		opts.Window = 60_000
+	}
+	gen := prof.NewGenerator(opts.Window)
+	return New(cfg, gen).Run(opts)
+}
+
+func TestBaselineRunSanity(t *testing.T) {
+	res := run(t, intProfile(1), DefaultConfig(), RunOptions{ConfigName: "mcd-max"})
+	if res.Instructions != 60_000 {
+		t.Fatalf("retired %d, want 60000", res.Instructions)
+	}
+	if cpi := res.CPI(); cpi < 0.3 || cpi > 3.0 {
+		t.Errorf("CPI = %v, want a plausible superscalar value", cpi)
+	}
+	if res.EnergyPJ <= 0 || res.TimePS <= 0 {
+		t.Error("no energy or time accumulated")
+	}
+	if res.BranchAccuracy < 0.8 {
+		t.Errorf("branch accuracy = %v, want > 0.8 for a predictable workload", res.BranchAccuracy)
+	}
+	if res.AvgFreqMHz[clock.Integer] < 990 {
+		t.Errorf("integer domain avg freq = %v, want ~1000 (no controller)", res.AvgFreqMHz[clock.Integer])
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := run(t, intProfile(7), DefaultConfig(), RunOptions{Window: 30_000})
+	b := run(t, intProfile(7), DefaultConfig(), RunOptions{Window: 30_000})
+	if a.TimePS != b.TimePS || a.EnergyPJ != b.EnergyPJ {
+		t.Errorf("runs differ: (%v,%v) vs (%v,%v)", a.TimePS, a.EnergyPJ, b.TimePS, b.EnergyPJ)
+	}
+}
+
+func TestMCDInherentDegradationSmall(t *testing.T) {
+	// The paper puts the inherent MCD degradation (all domains at max)
+	// below ~2-4% versus the fully synchronous core.
+	cfg := DefaultConfig()
+	mcd := run(t, intProfile(3), cfg, RunOptions{Window: 80_000, ConfigName: "mcd"})
+	cfg.SingleClock = true
+	syn := run(t, intProfile(3), cfg, RunOptions{Window: 80_000, ConfigName: "sync"})
+	deg := mcd.TimePS/syn.TimePS - 1
+	if deg < -0.01 {
+		t.Errorf("MCD faster than synchronous by %v; sync penalties missing?", -deg)
+	}
+	if deg > 0.06 {
+		t.Errorf("inherent MCD degradation = %v, want < 6%%", deg)
+	}
+	// The MCD clock-energy overhead must show up (paper: ~2.9% total).
+	if mcd.EnergyPJ <= syn.EnergyPJ {
+		t.Error("MCD run should consume more energy than synchronous at max frequencies")
+	}
+}
+
+func TestFPDomainSlowingHarmlessOnIntegerCode(t *testing.T) {
+	cfg := DefaultConfig()
+	base := run(t, intProfile(5), cfg, RunOptions{Window: 60_000})
+	slow := run(t, intProfile(5), cfg, RunOptions{
+		Window:         60_000,
+		InitialFreqMHz: [clock.NumControllable]float64{0, 0, 250, 0},
+	})
+	deg := slow.TimePS/base.TimePS - 1
+	if math.Abs(deg) > 0.02 {
+		t.Errorf("FP domain at 250 MHz degraded integer code by %v", deg)
+	}
+	if slow.EnergyPJ >= base.EnergyPJ {
+		t.Error("slowing the idle FP domain should save energy")
+	}
+}
+
+func TestIntDomainSlowingHurtsComputeBoundCode(t *testing.T) {
+	cfg := DefaultConfig()
+	base := run(t, intProfile(9), cfg, RunOptions{Window: 60_000})
+	slow := run(t, intProfile(9), cfg, RunOptions{
+		Window:         60_000,
+		InitialFreqMHz: [clock.NumControllable]float64{0, 250, 0, 0},
+	})
+	deg := slow.TimePS/base.TimePS - 1
+	if deg < 0.5 {
+		t.Errorf("integer domain at 250 MHz degraded compute-bound code by only %v", deg)
+	}
+}
+
+func TestFPWorkloadUsesFPDomain(t *testing.T) {
+	res := run(t, fpProfile(11), DefaultConfig(), RunOptions{Window: 60_000})
+	if res.DomainEnergyPJ[clock.FloatingPoint] <= 0 {
+		t.Fatal("FP workload consumed no FP-domain energy")
+	}
+	intRes := run(t, intProfile(11), DefaultConfig(), RunOptions{Window: 60_000})
+	fpShareFP := res.DomainEnergyPJ[clock.FloatingPoint] / res.EnergyPJ
+	fpShareInt := intRes.DomainEnergyPJ[clock.FloatingPoint] / intRes.EnergyPJ
+	if fpShareFP < 2*fpShareInt {
+		t.Errorf("FP-domain energy share: fp code %v vs int code %v; want clear separation", fpShareFP, fpShareInt)
+	}
+}
+
+func TestIntervalRecordsEmitted(t *testing.T) {
+	res := run(t, intProfile(13), DefaultConfig(), RunOptions{
+		Window: 60_000, RecordIntervals: true,
+	})
+	if len(res.Intervals) != 6 {
+		t.Fatalf("got %d interval records for 60k instructions, want 6", len(res.Intervals))
+	}
+	for i, iv := range res.Intervals {
+		if iv.Index != i || iv.Instructions != 10_000 {
+			t.Errorf("interval %d malformed: %+v", i, iv)
+		}
+		if iv.IPC <= 0 {
+			t.Errorf("interval %d has non-positive IPC", i)
+		}
+		if iv.QueueUtil[clock.Integer] <= 0 {
+			t.Errorf("interval %d: integer queue utilization is zero", i)
+		}
+		if iv.QueueUtil[clock.FloatingPoint] != 0 {
+			t.Errorf("interval %d: FP queue utilization %v on integer-only code", i, iv.QueueUtil[clock.FloatingPoint])
+		}
+	}
+}
+
+// controllerFunc adapts a function to the Controller interface.
+type controllerFunc struct {
+	name string
+	fn   func(IntervalView) [clock.NumControllable]float64
+}
+
+func (c controllerFunc) Name() string { return c.name }
+func (c controllerFunc) Observe(iv IntervalView) [clock.NumControllable]float64 {
+	return c.fn(iv)
+}
+
+func TestControllerRetargetsFrequency(t *testing.T) {
+	// A controller that pins the FP domain to 250 MHz from the first
+	// interval: the run must end with the FP regulator near 250.
+	ctrl := controllerFunc{name: "pin-fp", fn: func(iv IntervalView) [clock.NumControllable]float64 {
+		return [clock.NumControllable]float64{0, 0, 250, 0}
+	}}
+	res := run(t, intProfile(17), DefaultConfig(), RunOptions{
+		Window: 120_000, Controller: ctrl, RecordIntervals: true,
+	})
+	last := res.Intervals[len(res.Intervals)-1]
+	if last.FreqMHz[clock.FloatingPoint] != 250 {
+		t.Errorf("FP target after control = %v, want 250", last.FreqMHz[clock.FloatingPoint])
+	}
+	if res.AvgFreqMHz[clock.FloatingPoint] > 900 {
+		t.Errorf("FP avg frequency = %v; regulator seems not to slew", res.AvgFreqMHz[clock.FloatingPoint])
+	}
+	if res.Transitions == 0 {
+		t.Error("no PLL transitions recorded")
+	}
+}
+
+func TestSlowedDomainQueueBacksUp(t *testing.T) {
+	// Running the FP domain at 250 MHz under FP-heavy code must raise
+	// FP queue utilization versus the max-frequency run.
+	cfg := DefaultConfig()
+	base := run(t, fpProfile(19), cfg, RunOptions{Window: 60_000, RecordIntervals: true})
+	slow := run(t, fpProfile(19), cfg, RunOptions{
+		Window: 60_000, RecordIntervals: true,
+		InitialFreqMHz: [clock.NumControllable]float64{0, 0, 250, 0},
+	})
+	var ubase, uslow float64
+	for _, iv := range base.Intervals {
+		ubase += iv.QueueAvg[clock.FloatingPoint]
+	}
+	for _, iv := range slow.Intervals {
+		uslow += iv.QueueAvg[clock.FloatingPoint]
+	}
+	ubase /= float64(len(base.Intervals))
+	uslow /= float64(len(slow.Intervals))
+	if uslow <= ubase {
+		t.Errorf("FP queue occupancy did not rise when FP domain slowed: base %v, slow %v", ubase, uslow)
+	}
+}
+
+func TestMemoryBoundCodeToleratesIntSlowdown(t *testing.T) {
+	memProf := workload.Profile{
+		Name: "mem-test", Seed: 23,
+		Phases: []workload.Phase{{
+			Mix:        workload.Mix{IntALU: 0.35, Load: 0.35, Store: 0.08, Branch: 0.22},
+			WorkingSet: 16 << 20, StrideFrac: 0.1, ChaseFrac: 0.6, DepMean: 3,
+			RandomSiteFrac: 0.2,
+		}},
+	}
+	cfg := DefaultConfig()
+	base := run(t, memProf, cfg, RunOptions{Window: 40_000})
+	slow := run(t, memProf, cfg, RunOptions{
+		Window:         40_000,
+		InitialFreqMHz: [clock.NumControllable]float64{0, 600, 0, 0},
+	})
+	deg := slow.TimePS/base.TimePS - 1
+	if deg > 0.25 {
+		t.Errorf("memory-bound code degraded %v at 600 MHz integer domain; expected slack", deg)
+	}
+	if base.L2MissRate < 0.1 {
+		t.Errorf("memory-bound profile L2 miss rate = %v; working set too small?", base.L2MissRate)
+	}
+}
+
+func TestShortWorkloadEndsCleanly(t *testing.T) {
+	res := run(t, intProfile(29), DefaultConfig(), RunOptions{Window: 500})
+	if res.Instructions != 500 {
+		t.Errorf("retired %d, want 500", res.Instructions)
+	}
+}

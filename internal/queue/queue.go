@@ -1,0 +1,273 @@
+// Package queue implements the decoupling structures of the MCD pipeline:
+// the per-domain issue queues whose occupancy drives the Attack/Decay
+// algorithm, the load/store queue, the reorder buffer, and the completion
+// ring used for cross-domain wakeup with synchronization-window latching.
+package queue
+
+import (
+	"math"
+
+	"mcd/internal/workload"
+)
+
+// None marks an absent source operand.
+const None int64 = -1
+
+// Entry is an issue-queue entry. Producer seqs (Src1/Src2) are resolved
+// against the CompletionRing at issue time; VisibleAt is the time the
+// dispatched entry itself becomes visible in the consuming domain (it
+// crossed from the front end through the domain-interface FIFO).
+type Entry struct {
+	Seq       uint64
+	Class     workload.Class
+	Src1      int64
+	Src2      int64
+	VisibleAt float64
+	Addr      uint64
+}
+
+// IssueQueue is a small in-order-storage, out-of-order-select queue.
+type IssueQueue struct {
+	entries []Entry
+	cap     int
+}
+
+// NewIssueQueue returns a queue with the given capacity.
+func NewIssueQueue(capacity int) *IssueQueue {
+	return &IssueQueue{entries: make([]Entry, 0, capacity), cap: capacity}
+}
+
+// Len returns current occupancy; Cap the capacity; Free the open slots.
+func (q *IssueQueue) Len() int  { return len(q.entries) }
+func (q *IssueQueue) Cap() int  { return q.cap }
+func (q *IssueQueue) Free() int { return q.cap - len(q.entries) }
+
+// Push inserts an entry, reporting false when the queue is full.
+func (q *IssueQueue) Push(e Entry) bool {
+	if len(q.entries) >= q.cap {
+		return false
+	}
+	q.entries = append(q.entries, e)
+	return true
+}
+
+// Select removes and returns up to max entries satisfying ready, oldest
+// first, appending to out. The scan models the wakeup/select CAM: every
+// resident entry is examined.
+func (q *IssueQueue) Select(max int, ready func(*Entry) bool, out []Entry) []Entry {
+	if max <= 0 || len(q.entries) == 0 {
+		return out
+	}
+	w := 0
+	for i := range q.entries {
+		e := &q.entries[i]
+		if max > 0 && ready(e) {
+			out = append(out, *e)
+			max--
+			continue
+		}
+		q.entries[w] = *e
+		w++
+	}
+	q.entries = q.entries[:w]
+	return out
+}
+
+// CompletionRing maps a dynamic instruction seq to its completion time and
+// executing domain. Slots are recycled; because the ROB bounds in-flight
+// distance well below the ring size, an overwritten slot can only belong
+// to a much older instruction, which is by construction long complete.
+type CompletionRing struct {
+	seq    []uint64
+	doneAt []float64
+	domain []uint8
+	mask   uint64
+}
+
+// NewCompletionRing returns a ring of the given power-of-two size.
+func NewCompletionRing(size uint64) *CompletionRing {
+	if size == 0 || size&(size-1) != 0 {
+		panic("queue: completion ring size must be a power of two")
+	}
+	r := &CompletionRing{
+		seq:    make([]uint64, size),
+		doneAt: make([]float64, size),
+		domain: make([]uint8, size),
+		mask:   size - 1,
+	}
+	for i := range r.doneAt {
+		r.doneAt[i] = math.Inf(-1) // empty slots read as "long complete"
+		r.seq[i] = math.MaxUint64
+	}
+	return r
+}
+
+// Dispatch registers seq as in flight in the given domain.
+func (r *CompletionRing) Dispatch(seq uint64, domain uint8) {
+	i := seq & r.mask
+	r.seq[i] = seq
+	r.doneAt[i] = math.Inf(1)
+	r.domain[i] = domain
+}
+
+// Complete records seq's completion time.
+func (r *CompletionRing) Complete(seq uint64, t float64) {
+	i := seq & r.mask
+	if r.seq[i] == seq {
+		r.doneAt[i] = t
+	}
+}
+
+// Lookup returns the completion time and domain of seq. Overwritten or
+// never-seen slots return (-Inf, 0): the producer is ancient history.
+func (r *CompletionRing) Lookup(seq uint64) (float64, uint8) {
+	i := seq & r.mask
+	if r.seq[i] != seq {
+		return math.Inf(-1), 0
+	}
+	return r.doneAt[i], r.domain[i]
+}
+
+// ROBEntry is one reorder-buffer slot.
+type ROBEntry struct {
+	Seq    uint64
+	DoneAt float64 // +Inf until complete
+	Domain uint8
+	Class  workload.Class
+}
+
+// ROB is the in-order retirement window.
+type ROB struct {
+	buf        []ROBEntry
+	head, size int
+}
+
+// NewROB returns a reorder buffer with the given capacity.
+func NewROB(capacity int) *ROB {
+	return &ROB{buf: make([]ROBEntry, capacity)}
+}
+
+// Len returns occupancy; Cap capacity; Free open slots.
+func (r *ROB) Len() int  { return r.size }
+func (r *ROB) Cap() int  { return len(r.buf) }
+func (r *ROB) Free() int { return len(r.buf) - r.size }
+
+// Push appends an entry in program order, reporting false when full.
+func (r *ROB) Push(e ROBEntry) bool {
+	if r.size == len(r.buf) {
+		return false
+	}
+	r.buf[(r.head+r.size)%len(r.buf)] = e
+	r.size++
+	return true
+}
+
+// Head returns the oldest entry, or nil when empty.
+func (r *ROB) Head() *ROBEntry {
+	if r.size == 0 {
+		return nil
+	}
+	return &r.buf[r.head]
+}
+
+// Complete marks seq complete at time t (linear probe from head; the
+// window is at most Cap entries).
+func (r *ROB) Complete(seq uint64, t float64) {
+	for i := 0; i < r.size; i++ {
+		e := &r.buf[(r.head+i)%len(r.buf)]
+		if e.Seq == seq {
+			e.DoneAt = t
+			return
+		}
+	}
+}
+
+// Pop removes the head entry.
+func (r *ROB) Pop() {
+	if r.size == 0 {
+		return
+	}
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+}
+
+// LSQEntry is one load/store queue slot, kept in program order from
+// dispatch to retirement.
+type LSQEntry struct {
+	Seq       uint64
+	IsStore   bool
+	Addr      uint64
+	Block     uint64 // Addr >> blockBits, for disambiguation
+	Src1      int64
+	Src2      int64
+	VisibleAt float64
+	Issued    bool
+	DoneAt    float64 // +Inf until the access (or store address resolve) completes
+}
+
+// LSQ is the load/store queue.
+type LSQ struct {
+	entries   []LSQEntry
+	cap       int
+	blockBits uint
+}
+
+// NewLSQ returns a load/store queue with the given capacity and cache
+// block size (for store-to-load disambiguation granularity).
+func NewLSQ(capacity int, blockBytes int) *LSQ {
+	bb := uint(0)
+	for 1<<bb < blockBytes {
+		bb++
+	}
+	return &LSQ{entries: make([]LSQEntry, 0, capacity), cap: capacity, blockBits: bb}
+}
+
+// Len returns occupancy; Cap capacity; Free open slots.
+func (l *LSQ) Len() int  { return len(l.entries) }
+func (l *LSQ) Cap() int  { return l.cap }
+func (l *LSQ) Free() int { return l.cap - len(l.entries) }
+
+// Push appends a memory op in program order, reporting false when full.
+func (l *LSQ) Push(e LSQEntry) bool {
+	if len(l.entries) >= l.cap {
+		return false
+	}
+	e.Block = e.Addr >> l.blockBits
+	l.entries = append(l.entries, e)
+	return true
+}
+
+// Entries exposes the backing slice for the issue scan. Callers may mutate
+// Issued/DoneAt in place.
+func (l *LSQ) Entries() []LSQEntry { return l.entries }
+
+// OlderStores inspects stores older than the entry at index idx:
+// allResolved is true when every older store has issued (address known);
+// forwarded is true when the youngest older store to the same block has
+// completed, making store-to-load forwarding possible.
+func (l *LSQ) OlderStores(idx int, now float64) (allResolved, match, forwardable bool) {
+	e := &l.entries[idx]
+	allResolved = true
+	for i := idx - 1; i >= 0; i-- {
+		s := &l.entries[i]
+		if !s.IsStore {
+			continue
+		}
+		if !s.Issued || s.DoneAt > now {
+			allResolved = false
+		}
+		if !match && s.Block == e.Block {
+			match = true
+			forwardable = s.Issued && s.DoneAt <= now
+		}
+	}
+	return allResolved, match, forwardable
+}
+
+// Retire removes the oldest entry if it matches seq (entries retire in
+// program order with the ROB).
+func (l *LSQ) Retire(seq uint64) {
+	if len(l.entries) > 0 && l.entries[0].Seq == seq {
+		l.entries = l.entries[:copy(l.entries, l.entries[1:])]
+	}
+}

@@ -1,0 +1,217 @@
+package queue
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mcd/internal/workload"
+)
+
+func TestIssueQueueCapacity(t *testing.T) {
+	q := NewIssueQueue(2)
+	if !q.Push(Entry{Seq: 1}) || !q.Push(Entry{Seq: 2}) {
+		t.Fatal("pushes into empty queue failed")
+	}
+	if q.Push(Entry{Seq: 3}) {
+		t.Error("push into full queue succeeded")
+	}
+	if q.Len() != 2 || q.Free() != 0 || q.Cap() != 2 {
+		t.Errorf("len/free/cap = %d/%d/%d", q.Len(), q.Free(), q.Cap())
+	}
+}
+
+func TestIssueQueueSelectOldestFirst(t *testing.T) {
+	q := NewIssueQueue(8)
+	for i := uint64(0); i < 6; i++ {
+		q.Push(Entry{Seq: i})
+	}
+	// Only even seqs ready; select at most 2: must pick 0 and 2.
+	got := q.Select(2, func(e *Entry) bool { return e.Seq%2 == 0 }, nil)
+	if len(got) != 2 || got[0].Seq != 0 || got[1].Seq != 2 {
+		t.Fatalf("selected %+v, want seqs 0,2", got)
+	}
+	if q.Len() != 4 {
+		t.Errorf("len after select = %d, want 4", q.Len())
+	}
+	// Remaining order preserved: 1,3,4,5.
+	rest := q.Select(10, func(e *Entry) bool { return true }, nil)
+	want := []uint64{1, 3, 4, 5}
+	for i, e := range rest {
+		if e.Seq != want[i] {
+			t.Errorf("rest[%d].Seq = %d, want %d", i, e.Seq, want[i])
+		}
+	}
+}
+
+func TestIssueQueueSelectNoneReady(t *testing.T) {
+	q := NewIssueQueue(4)
+	q.Push(Entry{Seq: 9, Class: workload.Load})
+	out := q.Select(4, func(e *Entry) bool { return false }, nil)
+	if len(out) != 0 || q.Len() != 1 {
+		t.Error("nothing should have been selected")
+	}
+}
+
+func TestCompletionRingLifecycle(t *testing.T) {
+	r := NewCompletionRing(512)
+	// Unknown seq reads as long complete.
+	if d, _ := r.Lookup(42); !math.IsInf(d, -1) {
+		t.Errorf("unknown seq doneAt = %v, want -Inf", d)
+	}
+	r.Dispatch(42, 2)
+	if d, dom := r.Lookup(42); !math.IsInf(d, 1) || dom != 2 {
+		t.Errorf("in-flight = (%v,%d), want (+Inf,2)", d, dom)
+	}
+	r.Complete(42, 1234.5)
+	if d, _ := r.Lookup(42); d != 1234.5 {
+		t.Errorf("completed doneAt = %v, want 1234.5", d)
+	}
+	// Overwrite by a much newer seq in the same slot.
+	r.Dispatch(42+512, 1)
+	if d, _ := r.Lookup(42); !math.IsInf(d, -1) {
+		t.Errorf("overwritten slot = %v, want -Inf", d)
+	}
+	r.Complete(42, 99) // stale complete must be ignored
+	if d, _ := r.Lookup(42 + 512); !math.IsInf(d, 1) {
+		t.Error("stale Complete corrupted newer entry")
+	}
+}
+
+func TestCompletionRingPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewCompletionRing(100)
+}
+
+func TestROBInOrderRetire(t *testing.T) {
+	r := NewROB(4)
+	for i := uint64(0); i < 4; i++ {
+		if !r.Push(ROBEntry{Seq: i, DoneAt: math.Inf(1)}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if r.Push(ROBEntry{Seq: 9}) {
+		t.Error("push into full ROB succeeded")
+	}
+	r.Complete(1, 10) // younger completes first: head must still block
+	if h := r.Head(); h.Seq != 0 || !math.IsInf(h.DoneAt, 1) {
+		t.Errorf("head = %+v, want seq 0 incomplete", h)
+	}
+	r.Complete(0, 20)
+	if h := r.Head(); h.DoneAt != 20 {
+		t.Errorf("head doneAt = %v, want 20", h.DoneAt)
+	}
+	r.Pop()
+	if h := r.Head(); h.Seq != 1 || h.DoneAt != 10 {
+		t.Errorf("next head = %+v, want seq 1 done at 10", h)
+	}
+	r.Pop()
+	r.Pop()
+	r.Pop()
+	if r.Head() != nil || r.Len() != 0 {
+		t.Error("ROB should be empty")
+	}
+	r.Pop() // popping empty is a no-op
+}
+
+func TestROBWraparound(t *testing.T) {
+	r := NewROB(3)
+	for i := uint64(0); i < 10; i++ {
+		if !r.Push(ROBEntry{Seq: i, DoneAt: float64(i)}) {
+			t.Fatalf("push %d failed", i)
+		}
+		if r.Head().Seq != i {
+			t.Fatalf("head seq = %d, want %d", r.Head().Seq, i)
+		}
+		r.Pop()
+	}
+}
+
+func TestLSQDisambiguation(t *testing.T) {
+	l := NewLSQ(8, 64)
+	inf := math.Inf(1)
+	l.Push(LSQEntry{Seq: 0, IsStore: true, Addr: 0x100, DoneAt: inf})
+	l.Push(LSQEntry{Seq: 1, IsStore: false, Addr: 0x104, DoneAt: inf}) // same block as store 0
+	l.Push(LSQEntry{Seq: 2, IsStore: false, Addr: 0x400, DoneAt: inf})
+
+	// Store 0 not issued: nothing resolved.
+	allRes, match, fwd := l.OlderStores(1, 100)
+	if allRes || !match || fwd {
+		t.Errorf("pre-issue: (%v,%v,%v), want (false,true,false)", allRes, match, fwd)
+	}
+	allRes, match, _ = l.OlderStores(2, 100)
+	if allRes || match {
+		t.Errorf("different block: (%v,%v), want (false,false)", allRes, match)
+	}
+
+	// Issue + complete the store: load 1 may forward.
+	l.Entries()[0].Issued = true
+	l.Entries()[0].DoneAt = 50
+	allRes, match, fwd = l.OlderStores(1, 100)
+	if !allRes || !match || !fwd {
+		t.Errorf("post-issue: (%v,%v,%v), want (true,true,true)", allRes, match, fwd)
+	}
+}
+
+func TestLSQRetireInOrder(t *testing.T) {
+	l := NewLSQ(4, 64)
+	l.Push(LSQEntry{Seq: 5})
+	l.Push(LSQEntry{Seq: 7})
+	l.Retire(7) // not head: must be ignored
+	if l.Len() != 2 {
+		t.Error("out-of-order retire removed an entry")
+	}
+	l.Retire(5)
+	if l.Len() != 1 || l.Entries()[0].Seq != 7 {
+		t.Error("head retire failed")
+	}
+}
+
+func TestLSQCapacity(t *testing.T) {
+	l := NewLSQ(1, 64)
+	if !l.Push(LSQEntry{Seq: 1}) || l.Push(LSQEntry{Seq: 2}) {
+		t.Error("capacity not enforced")
+	}
+	if l.Free() != 0 || l.Cap() != 1 {
+		t.Error("free/cap wrong")
+	}
+}
+
+// Property: Select removes exactly the ready entries (up to max) and
+// preserves relative order of the rest.
+func TestSelectPreservesOrderProperty(t *testing.T) {
+	f := func(readyMask uint16, maxSel uint8) bool {
+		q := NewIssueQueue(16)
+		for i := uint64(0); i < 16; i++ {
+			q.Push(Entry{Seq: i})
+		}
+		max := int(maxSel % 17)
+		got := q.Select(max, func(e *Entry) bool { return readyMask&(1<<e.Seq) != 0 }, nil)
+		if len(got) > max {
+			return false
+		}
+		prev := int64(-1)
+		for _, e := range got {
+			if int64(e.Seq) <= prev || readyMask&(1<<e.Seq) == 0 {
+				return false
+			}
+			prev = int64(e.Seq)
+		}
+		rest := q.Select(16, func(e *Entry) bool { return true }, nil)
+		prev = -1
+		for _, e := range rest {
+			if int64(e.Seq) <= prev {
+				return false
+			}
+			prev = int64(e.Seq)
+		}
+		return len(got)+len(rest) == 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

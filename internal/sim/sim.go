@@ -1,0 +1,70 @@
+// Package sim provides the run orchestration shared by the control
+// algorithms, the experiment harness and the command-line tools: it
+// instantiates a workload generator and a pipeline core for one
+// configuration and returns the measurements.
+package sim
+
+import (
+	"mcd/internal/clock"
+	"mcd/internal/pipeline"
+	"mcd/internal/stats"
+	"mcd/internal/workload"
+)
+
+// Spec describes one simulation run.
+type Spec struct {
+	Config  pipeline.Config
+	Profile workload.Profile
+	Window  uint64
+	// Warmup instructions run before the measured window (caches and
+	// predictors train; no measurements). Zero means no warmup.
+	Warmup uint64
+	// IntervalLength overrides the controller sampling period (paper:
+	// 10,000 instructions). Scaled-down windows use proportionally
+	// shorter intervals so a run spans a paper-like number of control
+	// intervals; see DESIGN.md ("time-scale compression").
+	IntervalLength uint64
+	Controller     pipeline.Controller
+	// InitialFreqMHz pins starting frequencies (zero entries = max).
+	InitialFreqMHz [clock.NumControllable]float64
+	// RecordIntervals keeps per-interval records on the Result.
+	RecordIntervals bool
+	// Name labels the Result's Config field.
+	Name string
+}
+
+// Run executes the spec.
+func Run(s Spec) stats.Result {
+	gen := s.Profile.NewGenerator(s.Warmup + s.Window)
+	core := pipeline.New(s.Config, gen)
+	return core.Run(pipeline.RunOptions{
+		Window:          s.Window,
+		Warmup:          s.Warmup,
+		IntervalLength:  s.IntervalLength,
+		Controller:      s.Controller,
+		InitialFreqMHz:  s.InitialFreqMHz,
+		RecordIntervals: s.RecordIntervals,
+		ConfigName:      s.Name,
+	})
+}
+
+// Synchronous returns the configuration of the conventional fully
+// synchronous processor (no MCD overheads, one clock).
+func Synchronous(cfg pipeline.Config) pipeline.Config {
+	cfg.SingleClock = true
+	return cfg
+}
+
+// RunSynchronousAt runs the fully synchronous processor with the global
+// clock scaled to freqMHz — conventional global voltage/frequency scaling.
+func RunSynchronousAt(cfg pipeline.Config, prof workload.Profile, window, warmup uint64, freqMHz float64, name string) stats.Result {
+	sc := Synchronous(cfg)
+	var init [clock.NumControllable]float64
+	for d := range init {
+		init[d] = freqMHz
+	}
+	return Run(Spec{
+		Config: sc, Profile: prof, Window: window, Warmup: warmup,
+		InitialFreqMHz: init, Name: name,
+	})
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func res(instr uint64, timePS, energyPJ float64) Result {
+	return Result{Instructions: instr, TimePS: timePS, EnergyPJ: energyPJ}
+}
+
+func TestDerivedMetrics(t *testing.T) {
+	r := res(1000, 2_000_000, 5_000_000) // 2 µs, 5 µJ
+	if cpi := r.CPI(); math.Abs(cpi-2.0) > 1e-12 {
+		t.Errorf("CPI = %v, want 2.0", cpi)
+	}
+	if epi := r.EPI(); math.Abs(epi-5000) > 1e-9 {
+		t.Errorf("EPI = %v, want 5000 pJ", epi)
+	}
+	if p := r.PowerW(); math.Abs(p-2.5) > 1e-12 {
+		t.Errorf("power = %v W, want 2.5", p)
+	}
+	var zero Result
+	if zero.CPI() != 0 || zero.EPI() != 0 || zero.PowerW() != 0 {
+		t.Error("zero result must not divide by zero")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := res(1000, 1_000_000, 4_000_000)
+	r := res(1000, 1_032_000, 3_240_000) // +3.2% time, -19% energy
+	c := Compare(r, base)
+	if math.Abs(c.PerfDegradation-0.032) > 1e-9 {
+		t.Errorf("perf degradation = %v, want 0.032", c.PerfDegradation)
+	}
+	if math.Abs(c.EnergySavings-0.19) > 1e-9 {
+		t.Errorf("energy savings = %v, want 0.19", c.EnergySavings)
+	}
+	wantEDP := 1 - (3_240_000.0*1_032_000)/(4_000_000.0*1_000_000)
+	if math.Abs(c.EDPImprovement-wantEDP) > 1e-9 {
+		t.Errorf("EDP improvement = %v, want %v", c.EDPImprovement, wantEDP)
+	}
+	wantPower := 1 - (3_240_000.0/1_032_000)/(4_000_000.0/1_000_000)
+	if math.Abs(c.PowerSavings-wantPower) > 1e-9 {
+		t.Errorf("power savings = %v, want %v", c.PowerSavings, wantPower)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	cs := []Comparison{
+		{PerfDegradation: 0.02, EnergySavings: 0.10, EDPImprovement: 0.08, PowerSavings: 0.082},
+		{PerfDegradation: 0.04, EnergySavings: 0.30, EDPImprovement: 0.27, PowerSavings: 0.27},
+	}
+	s := Summarize(cs)
+	if s.N != 2 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if math.Abs(s.PerfDegradation-0.03) > 1e-12 {
+		t.Errorf("mean perf deg = %v", s.PerfDegradation)
+	}
+	if math.Abs(s.EnergySavings-0.20) > 1e-12 {
+		t.Errorf("mean savings = %v", s.EnergySavings)
+	}
+	wantRatio := ((0.082 + 0.27) / 2) / 0.03
+	if math.Abs(s.PowerPerfRatio-wantRatio) > 1e-9 {
+		t.Errorf("ratio = %v, want %v", s.PowerPerfRatio, wantRatio)
+	}
+	wantPerBench := (0.082/0.02 + 0.27/0.04) / 2
+	if math.Abs(s.MeanPerBenchRatio-wantPerBench) > 1e-9 {
+		t.Errorf("per-bench ratio = %v, want %v", s.MeanPerBenchRatio, wantPerBench)
+	}
+	if s := Summarize(nil); s.N != 0 {
+		t.Error("empty summary must be zero")
+	}
+}

@@ -1,0 +1,349 @@
+package workload
+
+// Benchmark is one row of Table 5: a named workload with its suite, the
+// dataset/window documentation from the paper, and the synthetic profile
+// standing in for the binary.
+type Benchmark struct {
+	Name     string
+	Suite    string
+	Datasets string // dataset and simulation-window note from Table 5
+	// PaperWindowM is the paper's simulated instruction count in millions
+	// (summed across datasets), used to document the window scaling.
+	PaperWindowM float64
+	Profile      Profile
+}
+
+// Suites.
+const (
+	SuiteMediaBench = "MediaBench"
+	SuiteOlden      = "Olden"
+	SuiteSpecInt    = "Spec2000Int"
+	SuiteSpecFP     = "Spec2000FP"
+)
+
+// intMix builds a no-FP mix with the given ALU/mul/load/store/branch split.
+func intMix(alu, mul, ld, st, br float64) Mix {
+	return Mix{IntALU: alu, IntMul: mul, Load: ld, Store: st, Branch: br}
+}
+
+// EpicDecodeProfile is the `epic decode` model used by Figures 2 and 3: the
+// floating-point unit is idle except during two distinct bursts, and the
+// load/store stream shifts working set between phases.
+func EpicDecodeProfile() Profile {
+	intPhase := Phase{
+		Mix:        intMix(0.50, 0.03, 0.22, 0.10, 0.15),
+		WorkingSet: 256 << 10, StrideFrac: 0.85, DepMean: 5,
+	}
+	fpPhase := Phase{
+		Mix: Mix{IntALU: 0.30, IntMul: 0.02, FPAdd: 0.22, FPMul: 0.13, FPDiv: 0.02,
+			Load: 0.18, Store: 0.08, Branch: 0.05},
+		WorkingSet: 512 << 10, StrideFrac: 0.90, DepMean: 5,
+	}
+	p1, p2, p3, p4, p5 := intPhase, fpPhase, intPhase, fpPhase, intPhase
+	p1.Frac, p2.Frac, p3.Frac, p4.Frac, p5.Frac = 0.18, 0.22, 0.22, 0.20, 0.18
+	// The middle integer phase hammers the load/store queue harder, which
+	// produces the utilization-difference activity of Figure 2.
+	p3.Mix = intMix(0.42, 0.02, 0.30, 0.12, 0.14)
+	p3.WorkingSet = 2 << 20
+	p3.StrideFrac = 0.55
+	return Profile{Name: "epic.decode", Phases: []Phase{p1, p2, p3, p4, p5}, Seed: 0xe71c}
+}
+
+// Catalog returns the 30 benchmarks of Table 5 in the paper's order.
+func Catalog() []Benchmark {
+	media := []Benchmark{
+		{
+			Name: "adpcm", Suite: SuiteMediaBench,
+			Datasets: "ref: encode (6.6M), decode (5.5M)", PaperWindowM: 12.1,
+			Profile: Profile{Name: "adpcm", Seed: 0xad, Phases: []Phase{{
+				Mix: intMix(0.55, 0.02, 0.18, 0.10, 0.15), WorkingSet: 16 << 10,
+				StrideFrac: 0.9, CodeBytes: 4 << 10, BranchSites: 64,
+				RandomSiteFrac: 0.02, DepMean: 4,
+			}}},
+		},
+		{
+			Name: "epic", Suite: SuiteMediaBench,
+			Datasets: "ref: encode (53M), decode (6.7M)", PaperWindowM: 59.7,
+			Profile: EpicDecodeProfile(),
+		},
+		{
+			Name: "jpeg", Suite: SuiteMediaBench,
+			Datasets: "ref: compress (15.5M), decompress (4.6M)", PaperWindowM: 20.1,
+			Profile: Profile{Name: "jpeg", Seed: 0x10e6, Phases: []Phase{{
+				Mix: intMix(0.48, 0.08, 0.20, 0.12, 0.12), WorkingSet: 128 << 10,
+				StrideFrac: 0.85, BranchSites: 128, DepMean: 6,
+			}}},
+		},
+		{
+			Name: "g721", Suite: SuiteMediaBench,
+			Datasets: "ref: encode (0-200M), decode (0-200M)", PaperWindowM: 400,
+			Profile: Profile{Name: "g721", Seed: 0x721, Phases: []Phase{{
+				Mix: intMix(0.58, 0.04, 0.15, 0.08, 0.15), WorkingSet: 8 << 10,
+				StrideFrac: 0.9, CodeBytes: 8 << 10, DepMean: 4,
+			}}},
+		},
+		{
+			Name: "gsm", Suite: SuiteMediaBench,
+			Datasets: "ref: encode (0-200M), decode (0-74M)", PaperWindowM: 274,
+			Profile: Profile{Name: "gsm", Seed: 0x95a, Phases: []Phase{{
+				Mix: intMix(0.56, 0.06, 0.15, 0.08, 0.15), WorkingSet: 16 << 10,
+				StrideFrac: 0.9, DepMean: 5,
+			}}},
+		},
+		{
+			Name: "ghostscript", Suite: SuiteMediaBench,
+			Datasets: "ref: 0-200M", PaperWindowM: 200,
+			Profile: Profile{Name: "ghostscript", Seed: 0x905, Phases: []Phase{{
+				Mix: Mix{IntALU: 0.45, IntMul: 0.02, FPAdd: 0.03, FPMul: 0.02,
+					Load: 0.25, Store: 0.10, Branch: 0.13},
+				WorkingSet: 1 << 20, StrideFrac: 0.6, CodeBytes: 128 << 10,
+				BranchSites: 1024, RandomSiteFrac: 0.08, DepMean: 6,
+			}}},
+		},
+		{
+			Name: "mesa", Suite: SuiteMediaBench,
+			Datasets: "ref: mipmap (44.7M), osdemo (7.6M), osdemo (75.8M)", PaperWindowM: 128.1,
+			Profile: Profile{Name: "mesa", Seed: 0x3e5a, Phases: []Phase{
+				{Frac: 0.6, Mix: Mix{IntALU: 0.35, IntMul: 0.02, FPAdd: 0.18, FPMul: 0.12,
+					FPDiv: 0.02, Load: 0.18, Store: 0.08, Branch: 0.05},
+					WorkingSet: 512 << 10, StrideFrac: 0.8, DepMean: 6},
+				{Frac: 0.4, Mix: intMix(0.46, 0.03, 0.24, 0.12, 0.15),
+					WorkingSet: 256 << 10, StrideFrac: 0.8, DepMean: 6},
+			}},
+		},
+		{
+			Name: "mpeg2", Suite: SuiteMediaBench,
+			Datasets: "ref: encode (0-171M), decode (0-200M)", PaperWindowM: 371,
+			Profile: Profile{Name: "mpeg2", Seed: 0x3be9, Phases: []Phase{{
+				Mix: Mix{IntALU: 0.46, IntMul: 0.06, FPAdd: 0.02, FPMul: 0.02,
+					Load: 0.24, Store: 0.08, Branch: 0.12},
+				WorkingSet: 512 << 10, StrideFrac: 0.85, DepMean: 7,
+			}}},
+		},
+		{
+			Name: "pegwit", Suite: SuiteMediaBench,
+			Datasets: "ref: encrypt key (12.3M), encrypt (32.4M), decrypt (17.7M)", PaperWindowM: 62.4,
+			Profile: Profile{Name: "pegwit", Seed: 0xbe9, Phases: []Phase{{
+				Mix: intMix(0.50, 0.10, 0.20, 0.08, 0.12), WorkingSet: 64 << 10,
+				StrideFrac: 0.8, DepMean: 4,
+			}}},
+		},
+	}
+
+	olden := []Benchmark{
+		{
+			Name: "bh", Suite: SuiteOlden,
+			Datasets: "2048 1: 0-200M", PaperWindowM: 200,
+			Profile: Profile{Name: "bh", Seed: 0xb4, Phases: []Phase{{
+				Mix: Mix{IntALU: 0.32, IntMul: 0.02, FPAdd: 0.16, FPMul: 0.12, FPDiv: 0.03,
+					Load: 0.22, Store: 0.06, Branch: 0.07},
+				WorkingSet: 2 << 20, StrideFrac: 0.4, ChaseFrac: 0.3, DepMean: 4,
+			}}},
+		},
+		{
+			Name: "bisort", Suite: SuiteOlden,
+			Datasets: "65000 0: entire program (127M)", PaperWindowM: 127,
+			Profile: Profile{Name: "bisort", Seed: 0xb150, Phases: []Phase{{
+				Mix: intMix(0.45, 0, 0.28, 0.12, 0.15), WorkingSet: 2 << 20,
+				StrideFrac: 0.3, ChaseFrac: 0.5, DepMean: 4,
+			}}},
+		},
+		{
+			Name: "em3d", Suite: SuiteOlden,
+			Datasets: "4000 10: 70M-119M (49M)", PaperWindowM: 49,
+			Profile: Profile{Name: "em3d", Seed: 0xe3d, Phases: []Phase{{
+				Mix: Mix{IntALU: 0.35, FPAdd: 0.08, FPMul: 0.05,
+					Load: 0.35, Store: 0.05, Branch: 0.12},
+				WorkingSet: 8 << 20, StrideFrac: 0.2, ChaseFrac: 0.6, DepMean: 3,
+			}}},
+		},
+		{
+			Name: "health", Suite: SuiteOlden,
+			Datasets: "4 1000 1: 80M-127M (47M)", PaperWindowM: 47,
+			Profile: Profile{Name: "health", Seed: 0x4ea1, Phases: []Phase{{
+				Mix: intMix(0.40, 0, 0.32, 0.13, 0.15), WorkingSet: 4 << 20,
+				StrideFrac: 0.2, ChaseFrac: 0.6, DepMean: 3,
+			}}},
+		},
+		{
+			Name: "mst", Suite: SuiteOlden,
+			Datasets: "1024 1: 70M-170M (100M)", PaperWindowM: 100,
+			Profile: Profile{Name: "mst", Seed: 0x357, Phases: []Phase{{
+				Mix: intMix(0.42, 0, 0.30, 0.10, 0.18), WorkingSet: 4 << 20,
+				StrideFrac: 0.25, ChaseFrac: 0.55, DepMean: 4,
+			}}},
+		},
+		{
+			Name: "perimeter", Suite: SuiteOlden,
+			Datasets: "12 1: 0-200M", PaperWindowM: 200,
+			Profile: Profile{Name: "perimeter", Seed: 0xbe2, Phases: []Phase{{
+				Mix: intMix(0.44, 0, 0.26, 0.10, 0.20), WorkingSet: 2 << 20,
+				StrideFrac: 0.3, ChaseFrac: 0.5, DepMean: 4,
+			}}},
+		},
+		{
+			Name: "power", Suite: SuiteOlden,
+			Datasets: "1 1: 0-200M", PaperWindowM: 200,
+			Profile: Profile{Name: "power", Seed: 0xb0e2, Phases: []Phase{{
+				Mix: Mix{IntALU: 0.34, IntMul: 0.02, FPAdd: 0.20, FPMul: 0.14, FPDiv: 0.04,
+					Load: 0.15, Store: 0.06, Branch: 0.05},
+				WorkingSet: 256 << 10, StrideFrac: 0.7, DepMean: 5,
+			}}},
+		},
+		{
+			Name: "treeadd", Suite: SuiteOlden,
+			Datasets: "20 1: entire program (189M)", PaperWindowM: 189,
+			Profile: Profile{Name: "treeadd", Seed: 0x72ee, Phases: []Phase{{
+				Mix: intMix(0.40, 0, 0.30, 0.12, 0.18), WorkingSet: 4 << 20,
+				StrideFrac: 0.25, ChaseFrac: 0.6, DepMean: 4,
+			}}},
+		},
+		{
+			Name: "tsp", Suite: SuiteOlden,
+			Datasets: "100000 1: 0-200M", PaperWindowM: 200,
+			Profile: Profile{Name: "tsp", Seed: 0x75b, Phases: []Phase{{
+				Mix: Mix{IntALU: 0.36, IntMul: 0.02, FPAdd: 0.14, FPMul: 0.12, FPDiv: 0.03,
+					Load: 0.20, Store: 0.06, Branch: 0.07},
+				WorkingSet: 1 << 20, StrideFrac: 0.45, ChaseFrac: 0.35, DepMean: 5,
+			}}},
+		},
+		{
+			Name: "voronoi", Suite: SuiteOlden,
+			Datasets: "60000 1 0: 0-200M", PaperWindowM: 200,
+			Profile: Profile{Name: "voronoi", Seed: 0x6020, Phases: []Phase{{
+				Mix: Mix{IntALU: 0.38, IntMul: 0.02, FPAdd: 0.10, FPMul: 0.08, FPDiv: 0.04,
+					Load: 0.22, Store: 0.08, Branch: 0.08},
+				WorkingSet: 2 << 20, StrideFrac: 0.4, ChaseFrac: 0.4, DepMean: 5,
+			}}},
+		},
+	}
+
+	specInt := []Benchmark{
+		{
+			Name: "bzip2", Suite: SuiteSpecInt,
+			Datasets: "source 58: 1000M-1100M", PaperWindowM: 100,
+			Profile: Profile{Name: "bzip2", Seed: 0xb2, Phases: []Phase{{
+				Mix: intMix(0.50, 0.02, 0.24, 0.10, 0.14), WorkingSet: 4 << 20,
+				StrideFrac: 0.55, RandomSiteFrac: 0.10, BranchSites: 512, DepMean: 6,
+			}}},
+		},
+		{
+			Name: "gcc", Suite: SuiteSpecInt,
+			Datasets: "166.i: 2000M-2100M", PaperWindowM: 100,
+			Profile: Profile{Name: "gcc", Seed: 0x9cc, Phases: []Phase{{
+				Mix: intMix(0.44, 0.01, 0.24, 0.12, 0.19), WorkingSet: 4 << 20,
+				StrideFrac: 0.5, ChaseFrac: 0.15, CodeBytes: 256 << 10,
+				BranchSites: 4096, RandomSiteFrac: 0.06, DepMean: 6,
+			}}},
+		},
+		{
+			Name: "gzip", Suite: SuiteSpecInt,
+			Datasets: "source 60: 1000M-1100M", PaperWindowM: 100,
+			Profile: Profile{Name: "gzip", Seed: 0x921b, Phases: []Phase{{
+				Mix: intMix(0.50, 0.01, 0.22, 0.11, 0.16), WorkingSet: 512 << 10,
+				StrideFrac: 0.6, RandomSiteFrac: 0.08, BranchSites: 512, DepMean: 5,
+			}}},
+		},
+		{
+			Name: "mcf", Suite: SuiteSpecInt,
+			Datasets: "ref: 1000M-1100M", PaperWindowM: 100,
+			Profile: Profile{Name: "mcf", Seed: 0x3cf, Phases: []Phase{{
+				Mix: intMix(0.38, 0, 0.34, 0.08, 0.20), WorkingSet: 32 << 20,
+				StrideFrac: 0.1, ChaseFrac: 0.7, RandomSiteFrac: 0.25,
+				BranchSites: 1024, DepMean: 3,
+			}}},
+		},
+		{
+			Name: "parser", Suite: SuiteSpecInt,
+			Datasets: "ref: 1000M-1100M", PaperWindowM: 100,
+			Profile: Profile{Name: "parser", Seed: 0xba2, Phases: []Phase{{
+				Mix: intMix(0.46, 0.01, 0.24, 0.10, 0.19), WorkingSet: 2 << 20,
+				StrideFrac: 0.45, ChaseFrac: 0.3, RandomSiteFrac: 0.10,
+				BranchSites: 2048, DepMean: 5,
+			}}},
+		},
+		{
+			Name: "vortex", Suite: SuiteSpecInt,
+			Datasets: "ref: 1000M-1100M", PaperWindowM: 100,
+			Profile: Profile{Name: "vortex", Seed: 0x602e, Phases: []Phase{{
+				Mix: intMix(0.44, 0.01, 0.26, 0.12, 0.17), WorkingSet: 4 << 20,
+				StrideFrac: 0.5, ChaseFrac: 0.2, CodeBytes: 128 << 10,
+				BranchSites: 2048, DepMean: 6,
+			}}},
+		},
+		{
+			Name: "vpr", Suite: SuiteSpecInt,
+			Datasets: "ref: 1000M-1100M", PaperWindowM: 100,
+			Profile: Profile{Name: "vpr", Seed: 0x6b2, Phases: []Phase{{
+				Mix: Mix{IntALU: 0.44, IntMul: 0.02, FPAdd: 0.03, FPMul: 0.02,
+					Load: 0.24, Store: 0.10, Branch: 0.15},
+				WorkingSet: 2 << 20, StrideFrac: 0.45, ChaseFrac: 0.25,
+				RandomSiteFrac: 0.10, BranchSites: 1024, DepMean: 5,
+			}}},
+		},
+	}
+
+	specFP := []Benchmark{
+		{
+			Name: "art", Suite: SuiteSpecFP,
+			Datasets: "ref: 300M-400M", PaperWindowM: 100,
+			Profile: Profile{Name: "art", Seed: 0xa27, Phases: []Phase{{
+				Mix: Mix{IntALU: 0.28, IntMul: 0.01, FPAdd: 0.22, FPMul: 0.16, FPDiv: 0.01,
+					Load: 0.22, Store: 0.05, Branch: 0.05},
+				WorkingSet: 8 << 20, StrideFrac: 0.75, DepMean: 5,
+			}}},
+		},
+		{
+			Name: "equake", Suite: SuiteSpecFP,
+			Datasets: "ref: 1000M-1100M", PaperWindowM: 100,
+			Profile: Profile{Name: "equake", Seed: 0xe9e, Phases: []Phase{{
+				Mix: Mix{IntALU: 0.30, IntMul: 0.01, FPAdd: 0.20, FPMul: 0.14, FPDiv: 0.03,
+					Load: 0.22, Store: 0.05, Branch: 0.05},
+				WorkingSet: 8 << 20, StrideFrac: 0.6, ChaseFrac: 0.2, DepMean: 4,
+			}}},
+		},
+		{
+			Name: "mesa.spec", Suite: SuiteSpecFP,
+			Datasets: "ref: 1000M-1100M", PaperWindowM: 100,
+			Profile: Profile{Name: "mesa.spec", Seed: 0x3e5b, Phases: []Phase{{
+				Mix: Mix{IntALU: 0.34, IntMul: 0.02, FPAdd: 0.18, FPMul: 0.12, FPDiv: 0.02,
+					Load: 0.19, Store: 0.08, Branch: 0.05},
+				WorkingSet: 1 << 20, StrideFrac: 0.8, DepMean: 6,
+			}}},
+		},
+		{
+			Name: "swim", Suite: SuiteSpecFP,
+			Datasets: "ref: 1000M-1100M", PaperWindowM: 100,
+			Profile: Profile{Name: "swim", Seed: 0x5013, Phases: []Phase{{
+				Mix: Mix{IntALU: 0.24, IntMul: 0.01, FPAdd: 0.26, FPMul: 0.18, FPDiv: 0.01,
+					Load: 0.20, Store: 0.05, Branch: 0.05},
+				WorkingSet: 16 << 20, StrideFrac: 0.9, DepMean: 7,
+			}}},
+		},
+	}
+
+	out := make([]Benchmark, 0, 30)
+	out = append(out, media...)
+	out = append(out, olden...)
+	out = append(out, specInt...)
+	out = append(out, specFP...)
+	return out
+}
+
+// Lookup finds a benchmark by name. The special name "epic.decode" returns
+// the decode-only profile used by Figures 2 and 3.
+func Lookup(name string) (Benchmark, bool) {
+	if name == "epic.decode" {
+		return Benchmark{
+			Name: "epic.decode", Suite: SuiteMediaBench,
+			Datasets: "ref: decode (6.7M)", PaperWindowM: 6.7,
+			Profile: EpicDecodeProfile(),
+		}, true
+	}
+	for _, b := range Catalog() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}

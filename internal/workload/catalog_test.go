@@ -1,0 +1,82 @@
+package workload
+
+import "testing"
+
+// Distinct benchmarks must produce distinct dynamic behaviour: compare
+// class histograms pairwise for a few representatives.
+func TestBenchmarksAreDistinguishable(t *testing.T) {
+	names := []string{"adpcm", "mcf", "swim", "ghostscript"}
+	hist := map[string][NumClasses]float64{}
+	for _, n := range names {
+		b, ok := Lookup(n)
+		if !ok {
+			t.Fatalf("%s missing", n)
+		}
+		g := b.Profile.NewGenerator(20_000)
+		var in Instr
+		var h [NumClasses]float64
+		for g.Next(&in) {
+			h[in.Class] += 1.0 / 20000
+		}
+		hist[n] = h
+	}
+	for i, a := range names {
+		for _, b := range names[i+1:] {
+			var dist float64
+			ha, hb := hist[a], hist[b]
+			for c := 0; c < int(NumClasses); c++ {
+				d := ha[c] - hb[c]
+				dist += d * d
+			}
+			if dist < 1e-4 {
+				t.Errorf("%s and %s have nearly identical mixes (dist %v)", a, b, dist)
+			}
+		}
+	}
+}
+
+// The memory-bound profiles must present much larger effective working
+// sets than the cache-resident media kernels.
+func TestWorkingSetSpread(t *testing.T) {
+	small, _ := Lookup("g721")
+	large, _ := Lookup("mcf")
+	touch := func(b Benchmark) map[uint64]bool {
+		g := b.Profile.NewGenerator(30_000)
+		blocks := map[uint64]bool{}
+		var in Instr
+		for g.Next(&in) {
+			if in.Class.Memory() {
+				blocks[in.Addr>>6] = true
+			}
+		}
+		return blocks
+	}
+	s, l := len(touch(small)), len(touch(large))
+	if l < 4*s {
+		t.Errorf("mcf touched %d blocks vs g721 %d; memory-bound profile not distinct", l, s)
+	}
+}
+
+// EpicDecodeProfile must be reproducible across invocations (the Figure
+// 2/3 experiments depend on it).
+func TestEpicDecodeProfileStable(t *testing.T) {
+	g1 := EpicDecodeProfile().NewGenerator(5_000)
+	g2 := EpicDecodeProfile().NewGenerator(5_000)
+	var a, b Instr
+	for g1.Next(&a) {
+		if !g2.Next(&b) || a != b {
+			t.Fatalf("divergence at seq %d: %+v vs %+v", a.Seq, a, b)
+		}
+	}
+}
+
+func TestMixFPFraction(t *testing.T) {
+	m := Mix{IntALU: 0.5, FPAdd: 0.25, FPMul: 0.25}
+	if f := m.FPFraction(); f != 0.5 {
+		t.Errorf("FPFraction = %v, want 0.5", f)
+	}
+	var zero Mix
+	if f := zero.FPFraction(); f != 0 {
+		t.Errorf("zero mix FPFraction = %v", f)
+	}
+}

@@ -1,0 +1,147 @@
+// Package mcd is a library-quality reproduction of "Dynamic Frequency and
+// Voltage Control for a Multiple Clock Domain Microarchitecture"
+// (Semeraro et al., MICRO 2002): a cycle-level simulator of a
+// four-clock-domain out-of-order processor with per-domain dynamic
+// voltage/frequency scaling, a Wattch-style energy model, the paper's
+// Attack/Decay on-line control algorithm, and the off-line and global
+// scaling comparators used in its evaluation.
+//
+// # Quick start
+//
+//	bench, _ := mcd.LookupBenchmark("epic.decode")
+//	res := mcd.Run(mcd.Spec{
+//		Config:     mcd.DefaultConfig(),
+//		Profile:    bench.Profile,
+//		Window:     500_000,
+//		Warmup:     250_000,
+//		Controller: mcd.NewAttackDecay(mcd.DefaultParams()),
+//	})
+//	fmt.Printf("CPI %.3f  EPI %.1f pJ\n", res.CPI(), res.EPI())
+//
+// The experiment harness that regenerates every table and figure of the
+// paper lives in cmd/mcdbench, cmd/mcdtrace and cmd/mcdsweep; DESIGN.md
+// maps each experiment to the modules that implement it.
+package mcd
+
+import (
+	"mcd/internal/clock"
+	"mcd/internal/core"
+	"mcd/internal/pipeline"
+	"mcd/internal/sim"
+	"mcd/internal/stats"
+	"mcd/internal/workload"
+)
+
+// Domain identifies one of the independently clocked processor regions.
+type Domain = clock.Domain
+
+// The four controllable clock domains plus external memory.
+const (
+	FrontEnd      = clock.FrontEnd
+	Integer       = clock.Integer
+	FloatingPoint = clock.FloatingPoint
+	LoadStore     = clock.LoadStore
+	Memory        = clock.Memory
+
+	// NumControllable counts the domains a controller may retarget.
+	NumControllable = clock.NumControllable
+)
+
+// Config holds the architectural (Table 4) and MCD-specific (Table 1)
+// parameters of the simulated processor.
+type Config = pipeline.Config
+
+// DefaultConfig returns the paper's processor configuration.
+func DefaultConfig() Config { return pipeline.DefaultConfig() }
+
+// Controller adjusts domain frequencies once per sampling interval.
+// Implement it to plug a custom control algorithm into the simulator; see
+// examples/customcontroller.
+type Controller = pipeline.Controller
+
+// IntervalView is the per-interval information a Controller observes: the
+// per-domain queue-utilization counters and the global IPC counter —
+// exactly the hardware the paper provisions (Section 3.2).
+type IntervalView = pipeline.IntervalView
+
+// Result carries the measurements of one simulation run.
+type Result = stats.Result
+
+// Interval is one recorded control interval (used by the Figure 2/3
+// traces).
+type Interval = stats.Interval
+
+// Comparison and Summary are the paper's evaluation metrics.
+type (
+	Comparison = stats.Comparison
+	Summary    = stats.Summary
+)
+
+// Compare measures a run against a baseline run of the same workload.
+func Compare(r, base Result) Comparison { return stats.Compare(r, base) }
+
+// Summarize averages comparisons across a benchmark suite.
+func Summarize(cs []Comparison) Summary { return stats.Summarize(cs) }
+
+// Spec describes one simulation run.
+type Spec = sim.Spec
+
+// Run executes a simulation.
+func Run(s Spec) Result { return sim.Run(s) }
+
+// Synchronous converts a configuration to the conventional fully
+// synchronous processor (single clock, no MCD overheads).
+func Synchronous(cfg Config) Config { return sim.Synchronous(cfg) }
+
+// RunSynchronousAt runs the fully synchronous processor at a global
+// frequency — conventional global voltage/frequency scaling.
+func RunSynchronousAt(cfg Config, prof Profile, window, warmup uint64, freqMHz float64, name string) Result {
+	return sim.RunSynchronousAt(cfg, prof, window, warmup, freqMHz, name)
+}
+
+// Params are the Attack/Decay configuration parameters (Table 2).
+type Params = core.Params
+
+// DefaultParams returns the paper's headline configuration
+// (1.750_06.0_0.175_2.5).
+func DefaultParams() Params { return core.DefaultParams() }
+
+// NewAttackDecay returns the paper's on-line controller (Listing 1).
+func NewAttackDecay(p Params) Controller { return core.NewAttackDecay(p) }
+
+// OfflineOptions tunes the off-line schedule search.
+type OfflineOptions = core.OfflineOptions
+
+// BuildOffline constructs the off-line Dynamic-X% comparator: an
+// iterative, global-knowledge slack scheduler targeting a performance
+// degradation cap. It returns the schedule controller and the baseline
+// MCD run it profiled.
+func BuildOffline(cfg Config, prof Profile, window uint64, opts OfflineOptions) (*core.OfflineController, Result) {
+	return core.BuildOffline(cfg, prof, window, opts)
+}
+
+// GlobalMatch finds the single global frequency at which the fully
+// synchronous processor matches a target slowdown (the Global(·) rows of
+// Table 6).
+func GlobalMatch(cfg Config, prof Profile, window, warmup uint64, baseTime, targetDeg float64, name string) (float64, Result) {
+	return core.GlobalMatch(cfg, prof, window, warmup, baseTime, targetDeg, name)
+}
+
+// Workload modeling types: each benchmark of Table 5 is a deterministic
+// statistical trace generator (see DESIGN.md for the substitution).
+type (
+	Benchmark = workload.Benchmark
+	Profile   = workload.Profile
+	Phase     = workload.Phase
+	Mix       = workload.Mix
+	Class     = workload.Class
+	Generator = workload.Generator
+	Instr     = workload.Instr
+)
+
+// Catalog returns the 30 benchmarks of Table 5.
+func Catalog() []Benchmark { return workload.Catalog() }
+
+// LookupBenchmark finds a benchmark by name ("epic.decode" selects the
+// decode-only profile used by Figures 2 and 3).
+func LookupBenchmark(name string) (Benchmark, bool) { return workload.Lookup(name) }
