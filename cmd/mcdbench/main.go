@@ -12,19 +12,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"runtime"
 
 	"mcd/internal/bench"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "headline", "experiment: table1..table6, fig4, headline, all")
-		quick  = flag.Bool("quick", false, "reduced scale (subset of benchmarks, shorter windows)")
-		window = flag.Uint64("window", 0, "override measured instructions per run")
-		warmup = flag.Uint64("warmup", 0, "override warmup instructions per run")
-		benchF = flag.String("bench", "", "comma-separated benchmark filter")
-		quiet  = flag.Bool("quiet", false, "suppress progress output")
+		exp     = flag.String("exp", "headline", "experiment: table1..table6, fig4, headline, all")
+		quick   = flag.Bool("quick", false, "reduced scale (subset of benchmarks, shorter windows)")
+		window  = flag.Uint64("window", 0, "override measured instructions per run")
+		warmup  = flag.Uint64("warmup", 0, "override warmup instructions per run")
+		benchF  = flag.String("bench", "", "comma-separated benchmark filter")
+		quiet   = flag.Bool("quiet", false, "suppress progress output")
+		workers = flag.Int("workers", runtime.NumCPU(), "parallel simulation workers (results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -39,11 +40,12 @@ func main() {
 		opts.Warmup = *warmup
 	}
 	if *benchF != "" {
-		opts.Benchmarks = strings.Split(*benchF, ",")
+		opts.Benchmarks = bench.SplitNames(*benchF)
 	}
 	if !*quiet {
 		opts.Log = os.Stderr
 	}
+	opts.Workers = *workers
 
 	static := map[string]func() string{
 		"table1": bench.Table1, "table2": bench.Table2, "table3": bench.Table3,

@@ -15,17 +15,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"runtime"
 
 	"mcd/internal/bench"
 )
 
 func main() {
 	var (
-		param  = flag.String("param", "target", "target | decay | reaction | deviation")
-		quick  = flag.Bool("quick", true, "reduced scale (10-benchmark subset)")
-		benchF = flag.String("bench", "", "comma-separated benchmark filter")
-		quiet  = flag.Bool("quiet", false, "suppress progress output")
+		param   = flag.String("param", "target", "target | decay | reaction | deviation")
+		quick   = flag.Bool("quick", true, "reduced scale (10-benchmark subset)")
+		benchF  = flag.String("bench", "", "comma-separated benchmark filter")
+		quiet   = flag.Bool("quiet", false, "suppress progress output")
+		workers = flag.Int("workers", runtime.NumCPU(), "parallel simulation workers (results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -34,11 +35,12 @@ func main() {
 		opts = bench.QuickOptions()
 	}
 	if *benchF != "" {
-		opts.Benchmarks = strings.Split(*benchF, ",")
+		opts.Benchmarks = bench.SplitNames(*benchF)
 	}
 	if !*quiet {
 		opts.Log = os.Stderr
 	}
+	opts.Workers = *workers
 
 	switch *param {
 	case "target":

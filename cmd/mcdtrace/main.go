@@ -1,17 +1,22 @@
 // Command mcdtrace emits the per-interval traces behind Figures 2 and 3:
 // queue utilization, utilization difference, and domain frequency for one
-// domain of one benchmark under Attack/Decay control, as CSV on stdout.
+// domain of one or more benchmarks under Attack/Decay control, as CSV on
+// stdout. Multiple benchmarks (comma-separated) are simulated in
+// parallel and emitted in argument order, each section preceded by a
+// "# benchmark <name>" comment line.
 //
 // Usage:
 //
 //	mcdtrace -bench epic.decode -domain fp   # Figure 3
 //	mcdtrace -bench epic.decode -domain ls   # Figure 2
+//	mcdtrace -bench epic,mcf,gzip -domain int -workers 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"mcd/internal/bench"
 	"mcd/internal/clock"
@@ -19,11 +24,12 @@ import (
 
 func main() {
 	var (
-		benchName = flag.String("bench", "epic.decode", "benchmark name")
-		domain    = flag.String("domain", "fp", "domain to trace: int | fp | ls")
-		window    = flag.Uint64("window", 500_000, "measured instructions")
-		warmup    = flag.Uint64("warmup", 100_000, "warmup instructions")
-		interval  = flag.Uint64("interval", 1000, "sampling interval (instructions)")
+		benchNames = flag.String("bench", "epic.decode", "benchmark name(s), comma-separated")
+		domain     = flag.String("domain", "fp", "domain to trace: int | fp | ls")
+		window     = flag.Uint64("window", 500_000, "measured instructions")
+		warmup     = flag.Uint64("warmup", 100_000, "warmup instructions")
+		interval   = flag.Uint64("interval", 1000, "sampling interval (instructions)")
+		workers    = flag.Int("workers", runtime.NumCPU(), "parallel simulation workers")
 	)
 	flag.Parse()
 
@@ -44,13 +50,23 @@ func main() {
 	opts.Window = *window
 	opts.Warmup = *warmup
 	opts.IntervalLength = *interval
-	to := bench.TraceOptions{Options: opts, Benchmark: *benchName}
-	res, err := to.Trace()
+	opts.Workers = *workers
+
+	names := bench.SplitNames(*benchNames)
+	if len(names) == 0 {
+		names = []string{"epic.decode"}
+	}
+	results, err := opts.TraceMany(names)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcdtrace: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "mcdtrace: %s, %d intervals, avg %s freq %.0f MHz\n",
-		*benchName, len(res.Intervals), *domain, res.AvgFreqMHz[d])
-	fmt.Print(bench.FigureCSV(res, d))
+	for i, res := range results {
+		fmt.Fprintf(os.Stderr, "mcdtrace: %s, %d intervals, avg %s freq %.0f MHz\n",
+			names[i], len(res.Intervals), *domain, res.AvgFreqMHz[d])
+		if len(results) > 1 {
+			fmt.Printf("# benchmark %s\n", names[i])
+		}
+		fmt.Print(bench.FigureCSV(res, d))
+	}
 }

@@ -1,0 +1,3 @@
+module mcd
+
+go 1.24

@@ -3,15 +3,23 @@
 // synthetic-workload substrate, printing the same rows and series the
 // paper reports. See DESIGN.md for the per-experiment index and
 // EXPERIMENTS.md for paper-vs-measured results.
+//
+// Every grid of independent runs is executed through internal/runner, so
+// the harness scales across cores; results are assembled in submission
+// order, making table output byte-identical for any Workers value.
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"strings"
+	"sync"
 
 	"mcd/internal/clock"
 	"mcd/internal/core"
 	"mcd/internal/pipeline"
+	"mcd/internal/runner"
 	"mcd/internal/sim"
 	"mcd/internal/stats"
 	"mcd/internal/workload"
@@ -29,9 +37,13 @@ type Options struct {
 	SlewNsPerMHz   float64 // regulator slew (compressed with the interval)
 	Params         core.Params
 	OfflineIters   int
+	// Workers bounds the number of simulations running concurrently;
+	// zero or negative means GOMAXPROCS. Results do not depend on it.
+	Workers int
 	// Benchmarks filters the catalog by name; empty means all 30.
 	Benchmarks []string
-	// Log receives progress lines; nil discards them.
+	// Log receives progress lines; nil discards them. Writes are
+	// serialized by the harness.
 	Log io.Writer
 }
 
@@ -62,8 +74,14 @@ func QuickOptions() Options {
 	return o
 }
 
+// logMu serializes progress output across a parallel batch; Options is
+// copied by value, so the lock must live outside it.
+var logMu sync.Mutex
+
 func (o Options) logf(format string, args ...any) {
 	if o.Log != nil {
+		logMu.Lock()
+		defer logMu.Unlock()
 		fmt.Fprintf(o.Log, format, args...)
 	}
 }
@@ -107,8 +125,8 @@ type Comparison struct {
 	GlobalD5 stats.Result
 }
 
-func (o Options) run(b workload.Benchmark, ctrl pipeline.Controller, init [clock.NumControllable]float64, name string) stats.Result {
-	return sim.Run(sim.Spec{
+func (o Options) spec(b workload.Benchmark, ctrl pipeline.Controller, init [clock.NumControllable]float64, name string) sim.Spec {
+	return sim.Spec{
 		Config:         o.config(),
 		Profile:        b.Profile,
 		Window:         o.Window,
@@ -117,37 +135,99 @@ func (o Options) run(b workload.Benchmark, ctrl pipeline.Controller, init [clock
 		Controller:     ctrl,
 		InitialFreqMHz: init,
 		Name:           name,
+	}
+}
+
+func (o Options) run(b workload.Benchmark, ctrl pipeline.Controller, init [clock.NumControllable]float64, name string) stats.Result {
+	return sim.Run(o.spec(b, ctrl, init, name))
+}
+
+// mapTasks fans tasks out on the options' pool, logging progress and
+// returning results in submission order. A run that panicked re-panics
+// here with its task name attached (*runner.PanicError), after the rest
+// of the batch has drained.
+func (o Options) mapTasks(tasks []runner.Task[stats.Result]) []stats.Result {
+	outs, _ := runner.Map(context.Background(), tasks, runner.Options{
+		Workers: o.Workers,
+		OnDone: func(done, total int, name string) {
+			o.logf("[%3d/%3d] %s\n", done, total, name)
+		},
 	})
+	res := make([]stats.Result, len(outs))
+	for i, u := range outs {
+		if u.Err != nil {
+			runner.Repanic(u.Err)
+		}
+		res[i] = u.Value
+	}
+	return res
+}
+
+// SplitNames parses a comma-separated benchmark list as the CLIs accept
+// it: surrounding whitespace is trimmed and empty entries dropped.
+func SplitNames(s string) []string {
+	var names []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// Index layout of the phase-1 task block per benchmark.
+const (
+	cSync = iota
+	cBase
+	cAD
+	cDyn1
+	cDyn5
+	nPhase1
+)
+
+// phase1Tasks builds the five independent runs of one benchmark's row:
+// fully synchronous, baseline MCD, Attack/Decay, and both off-line
+// schedules (each a compound BuildOffline + replay).
+func (o Options) phase1Tasks(b workload.Benchmark) []runner.Task[stats.Result] {
+	cfg := o.config()
+	return []runner.Task[stats.Result]{
+		cSync: {Name: b.Name + "/sync", Run: func(context.Context) (stats.Result, error) {
+			return sim.RunSynchronousAt(cfg, b.Profile, o.Window, o.Warmup, cfg.MaxFreqMHz, "sync"), nil
+		}},
+		cBase: runner.SpecTask(b.Name+"/mcd-base",
+			o.spec(b, nil, [clock.NumControllable]float64{}, "mcd-base")),
+		cAD: runner.SpecTask(b.Name+"/attack-decay",
+			o.spec(b, core.NewAttackDecay(o.Params), [clock.NumControllable]float64{}, "attack-decay")),
+		cDyn1: {Name: b.Name + "/dynamic-1%", Run: func(context.Context) (stats.Result, error) {
+			return o.runOffline(b, 0.01), nil
+		}},
+		cDyn5: {Name: b.Name + "/dynamic-5%", Run: func(context.Context) (stats.Result, error) {
+			return o.runOffline(b, 0.05), nil
+		}},
+	}
+}
+
+// globalTasks builds the three Global(·) searches of one row; they depend
+// on the phase-1 results, so they form the batch's second phase.
+func (o Options) globalTasks(c *Comparison) []runner.Task[stats.Result] {
+	cfg := o.config()
+	mk := func(name string, deg float64) runner.Task[stats.Result] {
+		return runner.Task[stats.Result]{Name: c.Bench.Name + "/" + name, Run: func(context.Context) (stats.Result, error) {
+			_, r := core.GlobalMatch(cfg, c.Bench.Profile, o.Window, o.Warmup, c.Sync.TimePS, deg, name)
+			return r, nil
+		}}
+	}
+	return []runner.Task[stats.Result]{
+		mk("global-ad", c.AD.TimePS/c.MCDBase.TimePS-1),
+		mk("global-d1", c.Dyn1.TimePS/c.MCDBase.TimePS-1),
+		mk("global-d5", c.Dyn5.TimePS/c.MCDBase.TimePS-1),
+	}
 }
 
 // RunComparison executes the Table 6 / Figure 4 configuration matrix for
 // one benchmark.
 func (o Options) RunComparison(b workload.Benchmark) Comparison {
-	var c Comparison
-	c.Bench = b
-	cfg := o.config()
-
-	o.logf("%-12s sync...", b.Name)
-	c.Sync = sim.RunSynchronousAt(cfg, b.Profile, o.Window, o.Warmup, cfg.MaxFreqMHz, "sync")
-	o.logf(" mcd-base...")
-	c.MCDBase = o.run(b, nil, [clock.NumControllable]float64{}, "mcd-base")
-	o.logf(" attack-decay...")
-	c.AD = o.run(b, core.NewAttackDecay(o.Params), [clock.NumControllable]float64{}, "attack-decay")
-
-	o.logf(" dynamic-1%%...")
-	c.Dyn1 = o.runOffline(b, 0.01)
-	o.logf(" dynamic-5%%...")
-	c.Dyn5 = o.runOffline(b, 0.05)
-
-	o.logf(" global...")
-	degAD := c.AD.TimePS/c.MCDBase.TimePS - 1
-	degD1 := c.Dyn1.TimePS/c.MCDBase.TimePS - 1
-	degD5 := c.Dyn5.TimePS/c.MCDBase.TimePS - 1
-	_, c.GlobalAD = core.GlobalMatch(cfg, b.Profile, o.Window, o.Warmup, c.Sync.TimePS, degAD, "global-ad")
-	_, c.GlobalD1 = core.GlobalMatch(cfg, b.Profile, o.Window, o.Warmup, c.Sync.TimePS, degD1, "global-d1")
-	_, c.GlobalD5 = core.GlobalMatch(cfg, b.Profile, o.Window, o.Warmup, c.Sync.TimePS, degD5, "global-d5")
-	o.logf(" done\n")
-	return c
+	return o.runAllOn([]workload.Benchmark{b})[0]
 }
 
 func (o Options) runOffline(b workload.Benchmark, target float64) stats.Result {
@@ -171,11 +251,45 @@ func (o Options) runOffline(b workload.Benchmark, target float64) stats.Result {
 
 // RunAll runs the comparison matrix over the selected benchmarks.
 func (o Options) RunAll() []Comparison {
-	var out []Comparison
-	for _, b := range o.catalog() {
-		out = append(out, o.RunComparison(b))
+	return o.runAllOn(o.catalog())
+}
+
+// runAllOn flattens the whole benchmark grid into two batches — the
+// independent runs of every row first, then every row's Global(·)
+// searches — so a single GOMAXPROCS-bounded pool sees maximal
+// parallelism. Comparisons come back in catalog order regardless of the
+// worker count.
+func (o Options) runAllOn(cat []workload.Benchmark) []Comparison {
+	var p1 []runner.Task[stats.Result]
+	for _, b := range cat {
+		p1 = append(p1, o.phase1Tasks(b)...)
 	}
-	return out
+	r1 := o.mapTasks(p1)
+
+	cs := make([]Comparison, len(cat))
+	for i, b := range cat {
+		row := r1[i*nPhase1 : (i+1)*nPhase1]
+		cs[i] = Comparison{
+			Bench:   b,
+			Sync:    row[cSync],
+			MCDBase: row[cBase],
+			AD:      row[cAD],
+			Dyn1:    row[cDyn1],
+			Dyn5:    row[cDyn5],
+		}
+	}
+
+	var p2 []runner.Task[stats.Result]
+	for i := range cs {
+		p2 = append(p2, o.globalTasks(&cs[i])...)
+	}
+	r2 := o.mapTasks(p2)
+	for i := range cs {
+		cs[i].GlobalAD = r2[i*3+0]
+		cs[i].GlobalD1 = r2[i*3+1]
+		cs[i].GlobalD5 = r2[i*3+2]
+	}
+	return cs
 }
 
 // summarize reduces one configuration across benchmarks against a chosen

@@ -5,6 +5,7 @@ import (
 
 	"mcd/internal/clock"
 	"mcd/internal/core"
+	"mcd/internal/runner"
 	"mcd/internal/stats"
 )
 
@@ -17,24 +18,38 @@ type SweepPoint struct {
 }
 
 // sweep runs Attack/Decay across the catalog once per parameter value.
+// The per-benchmark baselines form one parallel batch and the full
+// (value × benchmark) grid a second one; points are assembled in value
+// order, so the output is identical for any worker count.
 func (o Options) sweep(values []float64, apply func(*core.Params, float64)) []SweepPoint {
 	cat := o.catalog()
-	bases := make([]stats.Result, len(cat))
+
+	baseTasks := make([]runner.Task[stats.Result], len(cat))
 	for i, b := range cat {
-		o.logf("sweep baseline %s\n", b.Name)
-		bases[i] = o.run(b, nil, [clock.NumControllable]float64{}, "mcd-base")
+		baseTasks[i] = runner.SpecTask(b.Name+"/mcd-base",
+			o.spec(b, nil, [clock.NumControllable]float64{}, "mcd-base"))
 	}
-	var points []SweepPoint
+	bases := o.mapTasks(baseTasks)
+
+	var grid []runner.Task[stats.Result]
 	for _, v := range values {
 		p := o.Params
 		apply(&p, v)
-		var comps []stats.Comparison
-		for i, b := range cat {
-			o.logf("sweep %v %s\n", v, b.Name)
-			res := o.run(b, core.NewAttackDecay(p), [clock.NumControllable]float64{}, "ad-sweep")
-			comps = append(comps, stats.Compare(res, bases[i]))
+		for _, b := range cat {
+			grid = append(grid, runner.SpecTask(
+				fmt.Sprintf("%s/ad@%g", b.Name, v),
+				o.spec(b, core.NewAttackDecay(p), [clock.NumControllable]float64{}, "ad-sweep")))
 		}
-		points = append(points, SweepPoint{Value: v, Summary: stats.Summarize(comps)})
+	}
+	runs := o.mapTasks(grid)
+
+	points := make([]SweepPoint, len(values))
+	for vi, v := range values {
+		var comps []stats.Comparison
+		for bi := range cat {
+			comps = append(comps, stats.Compare(runs[vi*len(cat)+bi], bases[bi]))
+		}
+		points[vi] = SweepPoint{Value: v, Summary: stats.Summarize(comps)}
 	}
 	return points
 }

@@ -9,6 +9,7 @@ import (
 	"mcd/internal/dvfs"
 	"mcd/internal/hw"
 	"mcd/internal/pipeline"
+	"mcd/internal/runner"
 	"mcd/internal/sim"
 	"mcd/internal/stats"
 	"mcd/internal/workload"
@@ -111,21 +112,36 @@ func (o TraceOptions) Trace() (stats.Result, error) {
 	if name == "" {
 		name = "epic.decode"
 	}
-	b, ok := workload.Lookup(name)
-	if !ok {
-		return stats.Result{}, fmt.Errorf("bench: unknown benchmark %q", name)
+	res, err := o.Options.TraceMany([]string{name})
+	if err != nil {
+		return stats.Result{}, err
 	}
-	res := sim.Run(sim.Spec{
-		Config:          o.config(),
-		Profile:         b.Profile,
-		Window:          o.Window,
-		Warmup:          o.Warmup,
-		IntervalLength:  o.IntervalLength,
-		Controller:      core.NewAttackDecay(o.Params),
-		RecordIntervals: true,
-		Name:            "attack-decay-trace",
-	})
-	return res, nil
+	return res[0], nil
+}
+
+// TraceMany records the Figure 2/3 interval trace of several benchmarks,
+// fanned out across the options' worker pool; results come back in
+// argument order. Unknown names fail up front, before any simulation
+// starts.
+func (o Options) TraceMany(names []string) ([]stats.Result, error) {
+	tasks := make([]runner.Task[stats.Result], len(names))
+	for i, name := range names {
+		b, ok := workload.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+		}
+		tasks[i] = runner.SpecTask(name+"/trace", sim.Spec{
+			Config:          o.config(),
+			Profile:         b.Profile,
+			Window:          o.Window,
+			Warmup:          o.Warmup,
+			IntervalLength:  o.IntervalLength,
+			Controller:      core.NewAttackDecay(o.Params),
+			RecordIntervals: true,
+			Name:            "attack-decay-trace",
+		})
+	}
+	return o.mapTasks(tasks), nil
 }
 
 // FigureCSV renders the interval trace of one domain as CSV with the

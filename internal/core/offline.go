@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"mcd/internal/clock"
 	"mcd/internal/pipeline"
+	"mcd/internal/runner"
 	"mcd/internal/sim"
 	"mcd/internal/stats"
 	"mcd/internal/workload"
@@ -80,6 +83,64 @@ type OfflineOptions struct {
 	// replay; it must match the final run's interval length for the
 	// schedule indices to line up. Zero uses the pipeline default.
 	IntervalLength uint64
+	// Candidates is how many step-aggressiveness variants of the
+	// refinement rule each iteration evaluates (concurrently, through the
+	// runner pool) before committing to the best one. 1 — the default —
+	// reproduces the classic single-schedule refinement; higher values
+	// widen the search at no wall-clock cost on a multicore host. The
+	// candidate set is fixed by this value alone, so results never depend
+	// on Workers.
+	Candidates int
+	// Workers bounds the concurrent candidate evaluations; zero or
+	// negative means GOMAXPROCS.
+	Workers int
+}
+
+// stepExponent spreads candidate k's refinement aggressiveness around the
+// configured step factors: candidate 0 applies them as-is, odd candidates
+// soften them (exponent 1/2, 1/3, …) and even candidates sharpen them
+// (exponent 2, 3, …). The sequence depends only on k, never on the worker
+// count, so the search is deterministic.
+func stepExponent(k int) float64 {
+	switch {
+	case k == 0:
+		return 1
+	case k%2 == 1:
+		return 1 / (1 + float64(k+1)/2)
+	default:
+		return 1 + float64(k)/2
+	}
+}
+
+// refine returns a copy of sched with one pass of the slack rule applied:
+// speed up intervals whose queues backed up versus the full-speed
+// profile, slow down everything else while the dilation budget has slack.
+func refine(sched Schedule, cur, base stats.Result, deg float64, cfg pipeline.Config, opts OfflineOptions, down, up float64) Schedule {
+	controlled := []clock.Domain{clock.Integer, clock.FloatingPoint, clock.LoadStore}
+	out := make(Schedule, len(sched))
+	copy(out, sched)
+	for i := 0; i < len(out) && i < len(cur.Intervals); i++ {
+		for _, d := range controlled {
+			occ := cur.Intervals[i].QueueAvg[d]
+			ref := base.Intervals[i].QueueAvg[d]
+			// A queue holding substantially more than it did at full
+			// speed means the domain is now too slow for this phase.
+			backedUp := occ > ref*1.6+1.0
+			switch {
+			case backedUp:
+				out[i][d] *= up
+			case deg < opts.TargetDeg*0.9:
+				out[i][d] *= down
+			}
+			if out[i][d] > cfg.MaxFreqMHz {
+				out[i][d] = cfg.MaxFreqMHz
+			}
+			if out[i][d] < 250 {
+				out[i][d] = 250
+			}
+		}
+	}
+	return out
 }
 
 // BuildOffline profiles the workload at maximum frequencies, then
@@ -87,6 +148,13 @@ type OfflineOptions struct {
 // queues show slack, re-simulating until the end-to-end dilation meets the
 // target. It returns the controller and the baseline (all-max MCD) result
 // used as its reference.
+//
+// Each refinement iteration proposes opts.Candidates variant schedules
+// (step factors spread by stepExponent) and evaluates them concurrently
+// through the runner pool, committing to the best: the lowest-energy
+// candidate within the dilation cap, or failing that the one closest to
+// it. With the default single candidate this degenerates to the classic
+// serial refinement and produces bit-identical schedules to it.
 //
 // This reproduces the *global knowledge* property of the paper's off-line
 // shaker — it sees every interval of the whole run before choosing any
@@ -101,6 +169,9 @@ func BuildOffline(cfg pipeline.Config, prof workload.Profile, window uint64, opt
 	}
 	if opts.StepUp == 0 {
 		opts.StepUp = 1.15
+	}
+	if opts.Candidates < 1 {
+		opts.Candidates = 1
 	}
 	name := fmt.Sprintf("dynamic-%.0f%%", opts.TargetDeg*100)
 
@@ -120,38 +191,52 @@ func BuildOffline(cfg pipeline.Config, prof workload.Profile, window uint64, opt
 		return NewOfflineController(name, sched), base
 	}
 
-	controlled := []clock.Domain{clock.Integer, clock.FloatingPoint, clock.LoadStore}
 	cur := base
 	for it := 0; it < opts.Iterations; it++ {
 		deg := cur.TimePS/base.TimePS - 1
-		for i := 0; i < nIv && i < len(cur.Intervals); i++ {
-			for _, d := range controlled {
-				occ := cur.Intervals[i].QueueAvg[d]
-				ref := base.Intervals[i].QueueAvg[d]
-				// A queue holding substantially more than it did at full
-				// speed means the domain is now too slow for this phase.
-				backedUp := occ > ref*1.6+1.0
-				switch {
-				case backedUp:
-					sched[i][d] *= opts.StepUp
-				case deg < opts.TargetDeg*0.9:
-					sched[i][d] *= opts.StepDown
-				}
-				if sched[i][d] > cfg.MaxFreqMHz {
-					sched[i][d] = cfg.MaxFreqMHz
-				}
-				if sched[i][d] < 250 {
-					sched[i][d] = 250
+
+		cands := make([]Schedule, opts.Candidates)
+		tasks := make([]runner.Task[stats.Result], opts.Candidates)
+		for k := range cands {
+			e := stepExponent(k)
+			cands[k] = refine(sched, cur, base, deg, cfg, opts,
+				math.Pow(opts.StepDown, e), math.Pow(opts.StepUp, e))
+			ctrl := NewOfflineController(name, cands[k])
+			tasks[k] = runner.SpecTask(fmt.Sprintf("%s/cand%d", name, k), sim.Spec{
+				Config: cfg, Profile: prof, Window: window, Warmup: opts.Warmup,
+				IntervalLength: opts.IntervalLength,
+				Controller:     ctrl, InitialFreqMHz: ctrl.Initial(),
+				RecordIntervals: true, Name: name,
+			})
+		}
+		outs, _ := runner.Map(context.Background(), tasks, runner.Options{Workers: opts.Workers})
+
+		// Commit to the best candidate: lowest energy within the cap,
+		// else closest to it; ties break toward the lowest index, so the
+		// choice is a pure function of the candidate set.
+		best := -1
+		for k, o := range outs {
+			if o.Err != nil {
+				runner.Repanic(o.Err)
+			}
+			dk := o.Value.TimePS/base.TimePS - 1
+			if dk > opts.TargetDeg*1.1 {
+				continue
+			}
+			if best < 0 || o.Value.EnergyPJ < outs[best].Value.EnergyPJ {
+				best = k
+			}
+		}
+		if best < 0 { // every candidate overshot: take the least dilated
+			bestDeg := math.Inf(1)
+			for k, o := range outs {
+				if dk := o.Value.TimePS/base.TimePS - 1; dk < bestDeg {
+					best, bestDeg = k, dk
 				}
 			}
 		}
-		ctrl := NewOfflineController(name, sched)
-		cur = sim.Run(sim.Spec{
-			Config: cfg, Profile: prof, Window: window, Warmup: opts.Warmup,
-			IntervalLength: opts.IntervalLength,
-			Controller:     ctrl, InitialFreqMHz: ctrl.Initial(),
-			RecordIntervals: true, Name: name,
-		})
+		sched = cands[best]
+		cur = outs[best].Value
 		if deg2 := cur.TimePS/base.TimePS - 1; deg2 > opts.TargetDeg*0.9 && deg2 <= opts.TargetDeg*1.1 {
 			break
 		}

@@ -1,0 +1,22 @@
+package runner
+
+import "testing"
+
+func TestOptionsWorkerClamp(t *testing.T) {
+	for _, tc := range []struct{ workers, n, want int }{
+		{0, 100, 0}, // 0 → GOMAXPROCS, resolved below
+		{-3, 100, 0},
+		{4, 2, 2},
+		{1, 10, 1},
+		{16, 16, 16},
+	} {
+		got := Options{Workers: tc.workers}.workers(tc.n)
+		want := tc.want
+		if want == 0 {
+			want = min(Options{}.workers(1<<30), tc.n)
+		}
+		if got != want {
+			t.Errorf("workers(%d) with Workers=%d = %d, want %d", tc.n, tc.workers, got, want)
+		}
+	}
+}

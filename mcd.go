@@ -24,9 +24,13 @@
 package mcd
 
 import (
+	"context"
+	"fmt"
+
 	"mcd/internal/clock"
 	"mcd/internal/core"
 	"mcd/internal/pipeline"
+	"mcd/internal/runner"
 	"mcd/internal/sim"
 	"mcd/internal/stats"
 	"mcd/internal/workload"
@@ -88,6 +92,68 @@ type Spec = sim.Spec
 
 // Run executes a simulation.
 func Run(s Spec) Result { return sim.Run(s) }
+
+// RunRequest names one run of a batch. Exactly one of Spec and Do must be
+// set: Spec describes a plain simulation run; Do wraps a compound
+// experiment (for example a BuildOffline followed by the run it
+// schedules, or a GlobalMatch search) as a closure.
+type RunRequest struct {
+	Name string
+	Spec *Spec
+	Do   func(ctx context.Context) (Result, error)
+}
+
+// PanicError reports a batch run that panicked: the pool recovers the
+// panic so one bad run cannot kill its worker, and preserves the run's
+// name, the panic value and the original stack. Detect it with
+// errors.As.
+type PanicError = runner.PanicError
+
+// BatchResult is one RunBatch outcome, in the position its request was
+// submitted.
+type BatchResult struct {
+	Name   string
+	Result Result
+	// Err is the run's error; a run that panicked reports a *PanicError,
+	// and a run cancelled before it started reports the context error.
+	Err error
+}
+
+// BatchOptions configures RunBatch.
+type BatchOptions struct {
+	// Workers bounds concurrently executing runs; zero or negative means
+	// GOMAXPROCS.
+	Workers int
+	// Progress, if non-nil, is called (serialized) as each run finishes.
+	Progress func(done, total int, name string)
+}
+
+// RunBatch fans independent runs out across a bounded worker pool and
+// returns their results in submission order, so output derived from the
+// batch is byte-identical to executing the requests serially. Runs must
+// not share mutable state (each request needs its own Controller
+// instance); see DESIGN.md, "Runner determinism". A panicking run is
+// reported in its BatchResult — it does not kill the pool. When ctx is
+// cancelled, unstarted runs report ctx.Err() and RunBatch returns it.
+func RunBatch(ctx context.Context, reqs []RunRequest, opts BatchOptions) ([]BatchResult, error) {
+	tasks := make([]runner.Task[Result], len(reqs))
+	for i, r := range reqs {
+		switch {
+		case r.Spec != nil && r.Do == nil:
+			tasks[i] = runner.SpecTask(r.Name, *r.Spec)
+		case r.Do != nil && r.Spec == nil:
+			tasks[i] = runner.Task[Result]{Name: r.Name, Run: r.Do}
+		default:
+			return nil, fmt.Errorf("mcd: request %d (%q) must set exactly one of Spec and Do", i, r.Name)
+		}
+	}
+	outs, err := runner.Map(ctx, tasks, runner.Options{Workers: opts.Workers, OnDone: opts.Progress})
+	res := make([]BatchResult, len(outs))
+	for i, o := range outs {
+		res[i] = BatchResult{Name: o.Name, Result: o.Value, Err: o.Err}
+	}
+	return res, err
+}
 
 // Synchronous converts a configuration to the conventional fully
 // synchronous processor (single clock, no MCD overheads).
