@@ -1,0 +1,128 @@
+package mcd_test
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"mcd"
+	"mcd/internal/resultcache"
+)
+
+func cacheSpec(t *testing.T, name string, ad bool) mcd.Spec {
+	t.Helper()
+	b, ok := mcd.LookupBenchmark("adpcm")
+	if !ok {
+		t.Fatal("adpcm missing from catalog")
+	}
+	s := mcd.Spec{
+		Config:         mcd.DefaultConfig(),
+		Profile:        b.Profile,
+		Window:         8_000,
+		Warmup:         4_000,
+		IntervalLength: 250,
+		Name:           name,
+	}
+	if ad {
+		s.Controller = mcd.NewAttackDecay(mcd.DefaultParams())
+	}
+	return s
+}
+
+func TestSpecKeyPublicAPI(t *testing.T) {
+	k1, err := mcd.SpecKey(cacheSpec(t, "mcd-base", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := mcd.SpecKey(cacheSpec(t, "attack-decay", true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 || k1 == "" {
+		t.Fatalf("keys not distinct: %q %q", k1, k2)
+	}
+}
+
+// TestRunBatchCache: a cached batch returns results deep-equal (and
+// byte-identical under the canonical encoding) to an uncached batch,
+// identical specs submitted concurrently collapse onto one simulation,
+// and a repeated batch is served entirely from the store.
+func TestRunBatchCache(t *testing.T) {
+	cache, err := mcd.NewResultCache(mcd.CacheOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two identical requests plus one distinct one. Each request needs
+	// its own controller instance (runner purity), but the two
+	// attack-decay specs are content-identical, so the store must
+	// single-flight or hit — one simulation, not two.
+	reqs := func() []mcd.RunRequest {
+		s1, s2, s3 := cacheSpec(t, "attack-decay", true), cacheSpec(t, "attack-decay", true), cacheSpec(t, "mcd-base", false)
+		return []mcd.RunRequest{
+			{Name: "a", Spec: &s1},
+			{Name: "b", Spec: &s2},
+			{Name: "c", Spec: &s3},
+		}
+	}
+
+	plain, err := mcd.RunBatch(context.Background(), reqs(), mcd.BatchOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := mcd.RunBatch(context.Background(), reqs(), mcd.BatchOptions{Workers: 3, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cache.Stats()
+	if s.Misses != 2 {
+		t.Fatalf("first cached batch simulated %d specs, want 2 (one per distinct spec): %+v", s.Misses, s)
+	}
+
+	for i := range plain {
+		if plain[i].Err != nil || cached[i].Err != nil {
+			t.Fatalf("run %d: errs %v %v", i, plain[i].Err, cached[i].Err)
+		}
+		pb, _ := resultcache.EncodeResult(plain[i].Result)
+		cb, _ := resultcache.EncodeResult(cached[i].Result)
+		if !bytes.Equal(pb, cb) {
+			t.Fatalf("run %d: cached batch not byte-identical to uncached", i)
+		}
+	}
+
+	again, err := mcd.RunBatch(context.Background(), reqs(), mcd.BatchOptions{Workers: 3, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 := cache.Stats(); s2.Misses != s.Misses {
+		t.Fatalf("repeated batch recomputed: %+v -> %+v", s, s2)
+	}
+	if !reflect.DeepEqual(cached, again) {
+		t.Fatal("repeated cached batch differs")
+	}
+}
+
+// TestRunBatchUncacheableControllerFallsBack: a Do-based request and a
+// spec with an opaque controller both run normally with a cache set.
+func TestRunBatchUncacheableControllerFallsBack(t *testing.T) {
+	cache, err := mcd.NewResultCache(mcd.CacheOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	outs, err := mcd.RunBatch(context.Background(), []mcd.RunRequest{
+		{Name: "do", Do: func(context.Context) (mcd.Result, error) {
+			ran = true
+			return mcd.Result{Benchmark: "synthetic"}, nil
+		}},
+	}, mcd.BatchOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran || outs[0].Result.Benchmark != "synthetic" {
+		t.Fatalf("Do request mishandled: ran=%v out=%+v", ran, outs[0])
+	}
+	if s := cache.Stats(); s.Misses != 0 {
+		t.Fatalf("Do request touched the cache: %+v", s)
+	}
+}

@@ -6,6 +6,8 @@
 //	mcdbench -exp fig4 -quick      # Figure 4 on the 10-benchmark subset
 //	mcdbench -exp headline
 //	mcdbench -exp table1|table2|table3|table4|table5   # static tables
+//	mcdbench -exp table6 -cache /var/cache/mcd   # reuse completed cells
+//	mcdbench -exp table6 -json     # machine-readable (wire.ExperimentResult)
 package main
 
 import (
@@ -15,17 +17,20 @@ import (
 	"runtime"
 
 	"mcd/internal/bench"
+	"mcd/internal/wire"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "headline", "experiment: table1..table6, fig4, headline, all")
-		quick   = flag.Bool("quick", false, "reduced scale (subset of benchmarks, shorter windows)")
-		window  = flag.Uint64("window", 0, "override measured instructions per run")
-		warmup  = flag.Uint64("warmup", 0, "override warmup instructions per run")
-		benchF  = flag.String("bench", "", "comma-separated benchmark filter")
-		quiet   = flag.Bool("quiet", false, "suppress progress output")
-		workers = flag.Int("workers", runtime.NumCPU(), "parallel simulation workers (results are identical for any value)")
+		exp      = flag.String("exp", "headline", "experiment: table1..table6, fig4, headline, all")
+		quick    = flag.Bool("quick", false, "reduced scale (subset of benchmarks, shorter windows)")
+		window   = flag.Uint64("window", 0, "override measured instructions per run")
+		warmup   = flag.Uint64("warmup", 0, "override warmup instructions per run")
+		benchF   = flag.String("bench", "", "comma-separated benchmark filter")
+		quiet    = flag.Bool("quiet", false, "suppress progress output")
+		workers  = flag.Int("workers", runtime.NumCPU(), "parallel simulation workers (results are identical for any value)")
+		cacheDir = flag.String("cache", "", "result-store directory: completed cells are reused across invocations")
+		jsonOut  = flag.Bool("json", false, "emit the machine-readable experiment encoding (as served by mcdserve)")
 	)
 	flag.Parse()
 
@@ -46,37 +51,36 @@ func main() {
 		opts.Log = os.Stderr
 	}
 	opts.Workers = *workers
+	if err := opts.AttachCache(*cacheDir); err != nil {
+		fmt.Fprintf(os.Stderr, "mcdbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	emit := func(res wire.ExperimentResult) {
+		if !*jsonOut {
+			fmt.Print(res.Output)
+			return
+		}
+		b, err := wire.EncodeExperiment(res)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcdbench: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(b)
+	}
 
 	static := map[string]func() string{
 		"table1": bench.Table1, "table2": bench.Table2, "table3": bench.Table3,
 		"table4": bench.Table4, "table5": bench.Table5,
 	}
 	if f, ok := static[*exp]; ok {
-		fmt.Print(f())
+		emit(wire.ExperimentResult{Experiment: *exp, Output: f()})
 		return
 	}
 
 	switch *exp {
 	case "table6", "fig4", "headline", "all":
-		cs := opts.RunAll()
-		switch *exp {
-		case "table6":
-			fmt.Print(bench.Table6(cs))
-		case "fig4":
-			fmt.Print(bench.Fig4(cs))
-		case "headline":
-			fmt.Print(bench.Headline(cs))
-		case "all":
-			for _, f := range []string{"table1", "table2", "table3", "table4", "table5"} {
-				fmt.Print(static[f]())
-				fmt.Println()
-			}
-			fmt.Print(bench.Table6(cs))
-			fmt.Println()
-			fmt.Print(bench.Fig4(cs))
-			fmt.Println()
-			fmt.Print(bench.Headline(cs))
-		}
+		emit(wire.FromComparisons(*exp, opts.RunAll()))
 	default:
 		fmt.Fprintf(os.Stderr, "mcdbench: unknown experiment %q\n", *exp)
 		os.Exit(1)

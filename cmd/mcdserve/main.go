@@ -1,0 +1,110 @@
+// Command mcdserve is the long-running experiment service: an HTTP
+// front end over the job manager (internal/service) and the
+// content-addressed deterministic result store (internal/resultcache).
+// Because every simulation is a pure function of its spec, identical
+// requests are served from the store byte-identically to a recompute —
+// the second POST of the same run costs a hash lookup, not a
+// simulation.
+//
+// Usage:
+//
+//	mcdserve -addr :8080 -cache /var/cache/mcd
+//
+// then:
+//
+//	curl -d '{"benchmark":"mcf","config":"attack-decay","window":40000,"warmup":20000}' localhost:8080/v1/runs
+//	curl -d '{"name":"table6","quick":true}' localhost:8080/v1/experiments
+//	curl localhost:8080/v1/jobs/j000001/events        # NDJSON progress
+//	curl localhost:8080/v1/jobs/j000001/result
+//	curl localhost:8080/v1/cache/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"mcd/internal/resultcache"
+	"mcd/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		cacheDir = flag.String("cache", "", "result-store directory (empty: memory tier only)")
+		cacheMem = flag.Int64("cache-mem", 0, "in-memory result-store bound in bytes (0: default 64 MiB, <0: disk only)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "parallel simulations per job")
+		runners  = flag.Int("runners", 2, "jobs executing concurrently")
+		queue    = flag.Int("queue", 64, "queued-job bound; beyond it submissions get 429")
+	)
+	flag.Parse()
+	if err := run(*addr, *cacheDir, *cacheMem, *workers, *runners, *queue); err != nil {
+		fmt.Fprintf(os.Stderr, "mcdserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, cacheDir string, cacheMem int64, workers, runners, queue int) error {
+	cache, err := resultcache.New(resultcache.Options{Dir: cacheDir, MaxMemBytes: cacheMem})
+	if err != nil {
+		return err
+	}
+	// No deferred Close: the shutdown path below closes the manager
+	// with a bounded wait, and every other exit ends the process, which
+	// reaps the workers anyway.
+	mgr := service.New(service.Options{
+		Runners:    runners,
+		QueueDepth: queue,
+		Workers:    workers,
+		Cache:      cache,
+	})
+
+	srv := &http.Server{Addr: addr, Handler: service.NewHandler(mgr)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("mcdserve: listening on %s (cache dir %q, %d workers, %d runners)",
+		addr, cacheDir, workers, runners)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("mcdserve: shutting down")
+	// Close the manager first: failing every job lands each watcher on
+	// a terminal snapshot, so open NDJSON streams and synchronous run
+	// waits end immediately — otherwise Shutdown (which does not cancel
+	// request contexts) would block on them until its deadline. The
+	// wait is bounded: cancellation only takes effect between
+	// simulations, so a job mid-run could otherwise pin shutdown for
+	// the length of its longest simulation; past the deadline the
+	// worker goroutines are abandoned to die with the process.
+	closed := make(chan struct{})
+	go func() { mgr.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		log.Printf("mcdserve: a running simulation outlived the close deadline; abandoning it")
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	mcdsim -bench mcf -config attack-decay -window 400000 -warmup 200000
+//	mcdsim -bench mcf -json          # canonical JSON, as served by mcdserve
 //
 // Configurations: sync (fully synchronous 1 GHz), mcd (baseline MCD, all
 // domains at maximum), attack-decay (the paper's on-line algorithm),
@@ -16,6 +17,8 @@ import (
 	"os"
 
 	"mcd"
+	"mcd/internal/resultcache"
+	"mcd/internal/wire"
 )
 
 func main() {
@@ -26,50 +29,47 @@ func main() {
 		warmup    = flag.Uint64("warmup", 200_000, "warmup instructions")
 		interval  = flag.Uint64("interval", 1000, "controller sampling interval (instructions)")
 		slew      = flag.Float64("slew", 4.91, "regulator slew in ns/MHz (paper scale: 49.1)")
+		jsonOut   = flag.Bool("json", false, "emit the canonical machine-readable result encoding")
 	)
 	flag.Parse()
 
-	bench, ok := mcd.LookupBenchmark(*benchName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "mcdsim: unknown benchmark %q\n", *benchName)
-		os.Exit(1)
+	// warmup/interval/slew are passed as pointers: the flags always
+	// carry explicit values, so -warmup 0 (cold start), -interval 0
+	// (pipeline default period) and -slew 0 (ideal regulator) keep
+	// their meanings instead of falling back to the wire defaults.
+	req := wire.RunRequest{
+		Benchmark:    *benchName,
+		Config:       *config,
+		Window:       *window,
+		Warmup:       warmup,
+		Interval:     interval,
+		SlewNsPerMHz: slew,
 	}
-	cfg := mcd.DefaultConfig()
-	cfg.SlewNsPerMHz = *slew
-	spec := mcd.Spec{
-		Config:         cfg,
-		Profile:        bench.Profile,
-		Window:         *window,
-		Warmup:         *warmup,
-		IntervalLength: *interval,
-		Name:           *config,
+	// Reject unknown benchmark/config values up front with the valid
+	// sets, before any simulation starts.
+	if err := req.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "mcdsim: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
 	}
 
-	var res mcd.Result
-	switch *config {
-	case "sync":
-		res = mcd.RunSynchronousAt(cfg, bench.Profile, *window, *warmup, 1000, "sync")
-	case "mcd":
-		res = mcd.Run(spec)
-	case "attack-decay":
-		spec.Controller = mcd.NewAttackDecay(mcd.DefaultParams())
-		res = mcd.Run(spec)
-	case "dynamic-1", "dynamic-5":
-		target := 0.01
-		if *config == "dynamic-5" {
-			target = 0.05
+	res, err := req.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcdsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		b, err := resultcache.EncodeResult(res)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcdsim: %v\n", err)
+			os.Exit(1)
 		}
-		ctrl, _ := mcd.BuildOffline(cfg, bench.Profile, *window, mcd.OfflineOptions{
-			TargetDeg: target, Warmup: *warmup,
-		})
-		spec.Controller = ctrl
-		spec.InitialFreqMHz = ctrl.Initial()
-		res = mcd.Run(spec)
-	default:
-		fmt.Fprintf(os.Stderr, "mcdsim: unknown config %q\n", *config)
-		os.Exit(1)
+		os.Stdout.Write(b)
+		return
 	}
 
+	bench, _ := mcd.LookupBenchmark(*benchName)
 	fmt.Printf("benchmark    %s (%s)\n", bench.Name, bench.Suite)
 	fmt.Printf("config       %s\n", *config)
 	fmt.Printf("instructions %d\n", res.Instructions)

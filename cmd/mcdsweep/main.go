@@ -18,15 +18,17 @@ import (
 	"runtime"
 
 	"mcd/internal/bench"
+	"mcd/internal/wire"
 )
 
 func main() {
 	var (
-		param   = flag.String("param", "target", "target | decay | reaction | deviation")
-		quick   = flag.Bool("quick", true, "reduced scale (10-benchmark subset)")
-		benchF  = flag.String("bench", "", "comma-separated benchmark filter")
-		quiet   = flag.Bool("quiet", false, "suppress progress output")
-		workers = flag.Int("workers", runtime.NumCPU(), "parallel simulation workers (results are identical for any value)")
+		param    = flag.String("param", "target", "target | decay | reaction | deviation")
+		quick    = flag.Bool("quick", true, "reduced scale (10-benchmark subset)")
+		benchF   = flag.String("bench", "", "comma-separated benchmark filter")
+		quiet    = flag.Bool("quiet", false, "suppress progress output")
+		workers  = flag.Int("workers", runtime.NumCPU(), "parallel simulation workers (results are identical for any value)")
+		cacheDir = flag.String("cache", "", "result-store directory: completed sweep cells are reused across invocations")
 	)
 	flag.Parse()
 
@@ -41,22 +43,18 @@ func main() {
 		opts.Log = os.Stderr
 	}
 	opts.Workers = *workers
-
-	switch *param {
-	case "target":
-		pts := opts.SweepTarget(nil)
-		fmt.Print(bench.FormatSweep("Figure 5: performance degradation target (1.000_06.0_1.250_X.X)", "target", pts))
-	case "decay":
-		pts := opts.SweepDecay(nil)
-		fmt.Print(bench.FormatSweep("Figures 6a/7a: Decay sensitivity (1.500_04.0_X.XXX_3.0)", "decay", pts))
-	case "reaction":
-		pts := opts.SweepReaction(nil)
-		fmt.Print(bench.FormatSweep("Figures 6b/7b: ReactionChange sensitivity (1.500_XX.X_0.750_3.0)", "reaction", pts))
-	case "deviation":
-		pts := opts.SweepDeviation(nil)
-		fmt.Print(bench.FormatSweep("Figures 6c/7c: DeviationThreshold sensitivity (X.XXX_06.0_0.175_2.5)", "deviation", pts))
-	default:
-		fmt.Fprintf(os.Stderr, "mcdsweep: unknown parameter %q\n", *param)
+	if err := opts.AttachCache(*cacheDir); err != nil {
+		fmt.Fprintf(os.Stderr, "mcdsweep: %v\n", err)
 		os.Exit(1)
 	}
+
+	// One rendering path with the service: wire owns the sweep titles,
+	// so CLI output and mcdserve experiment bodies stay byte-for-byte
+	// in agreement.
+	res, err := wire.RunExperiment(opts, "sweep-"+*param)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcdsweep: unknown parameter %q (want target, decay, reaction or deviation)\n", *param)
+		os.Exit(1)
+	}
+	fmt.Print(res.Output)
 }

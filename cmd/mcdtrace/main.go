@@ -30,6 +30,7 @@ func main() {
 		warmup     = flag.Uint64("warmup", 100_000, "warmup instructions")
 		interval   = flag.Uint64("interval", 1000, "sampling interval (instructions)")
 		workers    = flag.Int("workers", runtime.NumCPU(), "parallel simulation workers")
+		cacheDir   = flag.String("cache", "", "result-store directory: completed traces are reused across invocations")
 	)
 	flag.Parse()
 
@@ -51,6 +52,10 @@ func main() {
 	opts.Warmup = *warmup
 	opts.IntervalLength = *interval
 	opts.Workers = *workers
+	if err := opts.AttachCache(*cacheDir); err != nil {
+		fmt.Fprintf(os.Stderr, "mcdtrace: %v\n", err)
+		os.Exit(1)
+	}
 
 	names := bench.SplitNames(*benchNames)
 	if len(names) == 0 {

@@ -19,6 +19,7 @@ import (
 	"mcd/internal/clock"
 	"mcd/internal/core"
 	"mcd/internal/pipeline"
+	"mcd/internal/resultcache"
 	"mcd/internal/runner"
 	"mcd/internal/sim"
 	"mcd/internal/stats"
@@ -45,6 +46,21 @@ type Options struct {
 	// Log receives progress lines; nil discards them. Writes are
 	// serialized by the harness.
 	Log io.Writer
+	// Progress, if non-nil, is called (serialized) as each run of a
+	// batch finishes — the hook the serving layer's job progress rides
+	// on. It never changes results.
+	Progress func(done, total int, name string)
+	// Cache, if non-nil, is consulted before every grid cell — including
+	// the compound off-line and Global(·) cells, which are keyed by
+	// their spec plus search parameters — so repeated sweeps and tables
+	// skip completed simulations. A hit is byte-identical to a
+	// recompute, so output does not depend on cache state.
+	Cache *resultcache.Cache
+	// Context, if non-nil, cancels the harness between runs: after
+	// cancellation no new simulation starts and the batch panics with
+	// the context error once running tasks drain (the serving layer
+	// recovers it into a failed job).
+	Context context.Context
 }
 
 // DefaultOptions returns the full-scale configuration used for
@@ -142,15 +158,68 @@ func (o Options) run(b workload.Benchmark, ctrl pipeline.Controller, init [clock
 	return sim.Run(o.spec(b, ctrl, init, name))
 }
 
+// AttachCache wires a disk-backed result store into the options — the
+// CLIs' -cache flag. An empty dir is a no-op.
+func (o *Options) AttachCache(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	c, err := resultcache.New(resultcache.Options{Dir: dir})
+	if err != nil {
+		return err
+	}
+	o.Cache = c
+	return nil
+}
+
+// task builds one cache-aware grid-cell task: with a cache configured
+// the cell is addressed by its spec's content hash and skipped when a
+// previous sweep already computed it; without one it is a plain run.
+func (o Options) task(name string, spec sim.Spec) runner.Task[stats.Result] {
+	return resultcache.Task(o.Cache, name, spec)
+}
+
+// compoundTask wraps a deterministic compound computation — an
+// off-line schedule search or a Global(·) bisection — keyed by a
+// controller-less spec plus the extra search parameters that determine
+// its outcome.
+func (o Options) compoundTask(name string, spec sim.Spec, extra string, run func() (stats.Result, error)) runner.Task[stats.Result] {
+	if o.Cache != nil {
+		if key, err := resultcache.SpecKeyExtra(spec, extra); err == nil {
+			return resultcache.TaskKeyed(o.Cache, name, key, run)
+		}
+	}
+	return runner.Task[stats.Result]{Name: name, Run: func(context.Context) (stats.Result, error) { return run() }}
+}
+
+// offlineOpts is the one place the harness configures the off-line
+// search; both the run and its content address derive from it.
+func (o Options) offlineOpts(target float64) core.OfflineOptions {
+	return core.OfflineOptions{
+		TargetDeg:      target,
+		Iterations:     o.OfflineIters,
+		Warmup:         o.Warmup,
+		IntervalLength: o.IntervalLength,
+	}
+}
+
 // mapTasks fans tasks out on the options' pool, logging progress and
 // returning results in submission order. A run that panicked re-panics
 // here with its task name attached (*runner.PanicError), after the rest
-// of the batch has drained.
+// of the batch has drained; so does the context error when Options.
+// Context is cancelled.
 func (o Options) mapTasks(tasks []runner.Task[stats.Result]) []stats.Result {
-	outs, _ := runner.Map(context.Background(), tasks, runner.Options{
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	outs, _ := runner.Map(ctx, tasks, runner.Options{
 		Workers: o.Workers,
 		OnDone: func(done, total int, name string) {
 			o.logf("[%3d/%3d] %s\n", done, total, name)
+			if o.Progress != nil {
+				o.Progress(done, total, name)
+			}
 		},
 	})
 	res := make([]stats.Result, len(outs))
@@ -190,20 +259,21 @@ const (
 // schedules (each a compound BuildOffline + replay).
 func (o Options) phase1Tasks(b workload.Benchmark) []runner.Task[stats.Result] {
 	cfg := o.config()
+	offline := func(pct string, target float64) runner.Task[stats.Result] {
+		return o.compoundTask(b.Name+"/dynamic-"+pct,
+			o.spec(b, nil, [clock.NumControllable]float64{}, "offline-search"),
+			o.offlineOpts(target).CacheExtra(),
+			func() (stats.Result, error) { return o.runOffline(b, target), nil })
+	}
 	return []runner.Task[stats.Result]{
-		cSync: {Name: b.Name + "/sync", Run: func(context.Context) (stats.Result, error) {
-			return sim.RunSynchronousAt(cfg, b.Profile, o.Window, o.Warmup, cfg.MaxFreqMHz, "sync"), nil
-		}},
-		cBase: runner.SpecTask(b.Name+"/mcd-base",
+		cSync: o.task(b.Name+"/sync",
+			sim.SynchronousSpec(cfg, b.Profile, o.Window, o.Warmup, cfg.MaxFreqMHz, "sync")),
+		cBase: o.task(b.Name+"/mcd-base",
 			o.spec(b, nil, [clock.NumControllable]float64{}, "mcd-base")),
-		cAD: runner.SpecTask(b.Name+"/attack-decay",
+		cAD: o.task(b.Name+"/attack-decay",
 			o.spec(b, core.NewAttackDecay(o.Params), [clock.NumControllable]float64{}, "attack-decay")),
-		cDyn1: {Name: b.Name + "/dynamic-1%", Run: func(context.Context) (stats.Result, error) {
-			return o.runOffline(b, 0.01), nil
-		}},
-		cDyn5: {Name: b.Name + "/dynamic-5%", Run: func(context.Context) (stats.Result, error) {
-			return o.runOffline(b, 0.05), nil
-		}},
+		cDyn1: offline("1%", 0.01),
+		cDyn5: offline("5%", 0.05),
 	}
 }
 
@@ -212,10 +282,14 @@ func (o Options) phase1Tasks(b workload.Benchmark) []runner.Task[stats.Result] {
 func (o Options) globalTasks(c *Comparison) []runner.Task[stats.Result] {
 	cfg := o.config()
 	mk := func(name string, deg float64) runner.Task[stats.Result] {
-		return runner.Task[stats.Result]{Name: c.Bench.Name + "/" + name, Run: func(context.Context) (stats.Result, error) {
-			_, r := core.GlobalMatch(cfg, c.Bench.Profile, o.Window, o.Warmup, c.Sync.TimePS, deg, name)
-			return r, nil
-		}}
+		base := c.Sync.TimePS
+		return o.compoundTask(c.Bench.Name+"/"+name,
+			sim.SynchronousSpec(cfg, c.Bench.Profile, o.Window, o.Warmup, cfg.MaxFreqMHz, name),
+			fmt.Sprintf("global|base=%s|deg=%s", resultcache.Float(base), resultcache.Float(deg)),
+			func() (stats.Result, error) {
+				_, r := core.GlobalMatch(cfg, c.Bench.Profile, o.Window, o.Warmup, base, deg, name)
+				return r, nil
+			})
 	}
 	return []runner.Task[stats.Result]{
 		mk("global-ad", c.AD.TimePS/c.MCDBase.TimePS-1),
@@ -231,12 +305,7 @@ func (o Options) RunComparison(b workload.Benchmark) Comparison {
 }
 
 func (o Options) runOffline(b workload.Benchmark, target float64) stats.Result {
-	ctrl, _ := core.BuildOffline(o.config(), b.Profile, o.Window, core.OfflineOptions{
-		TargetDeg:      target,
-		Iterations:     o.OfflineIters,
-		Warmup:         o.Warmup,
-		IntervalLength: o.IntervalLength,
-	})
+	ctrl, _ := core.BuildOffline(o.config(), b.Profile, o.Window, o.offlineOpts(target))
 	return sim.Run(sim.Spec{
 		Config:         o.config(),
 		Profile:        b.Profile,

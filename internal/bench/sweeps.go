@@ -26,7 +26,7 @@ func (o Options) sweep(values []float64, apply func(*core.Params, float64)) []Sw
 
 	baseTasks := make([]runner.Task[stats.Result], len(cat))
 	for i, b := range cat {
-		baseTasks[i] = runner.SpecTask(b.Name+"/mcd-base",
+		baseTasks[i] = o.task(b.Name+"/mcd-base",
 			o.spec(b, nil, [clock.NumControllable]float64{}, "mcd-base"))
 	}
 	bases := o.mapTasks(baseTasks)
@@ -36,7 +36,7 @@ func (o Options) sweep(values []float64, apply func(*core.Params, float64)) []Sw
 		p := o.Params
 		apply(&p, v)
 		for _, b := range cat {
-			grid = append(grid, runner.SpecTask(
+			grid = append(grid, o.task(
 				fmt.Sprintf("%s/ad@%g", b.Name, v),
 				o.spec(b, core.NewAttackDecay(p), [clock.NumControllable]float64{}, "ad-sweep")))
 		}

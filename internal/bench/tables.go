@@ -130,7 +130,7 @@ func (o Options) TraceMany(names []string) ([]stats.Result, error) {
 		if !ok {
 			return nil, fmt.Errorf("bench: unknown benchmark %q", name)
 		}
-		tasks[i] = runner.SpecTask(name+"/trace", sim.Spec{
+		tasks[i] = o.task(name+"/trace", sim.Spec{
 			Config:          o.config(),
 			Profile:         b.Profile,
 			Window:          o.Window,

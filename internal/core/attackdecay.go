@@ -9,6 +9,7 @@ import (
 
 	"mcd/internal/clock"
 	"mcd/internal/pipeline"
+	"mcd/internal/resultcache"
 )
 
 // Params are the Attack/Decay configuration parameters of Table 2. All
@@ -111,6 +112,20 @@ func NewAttackDecay(p Params) *AttackDecay {
 
 // Name implements pipeline.Controller.
 func (a *AttackDecay) Name() string { return "attack-decay-" + a.p.Label() }
+
+// CacheKey implements resultcache.Keyer: the canonical encoding of the
+// construction parameters. Two fresh controllers with equal keys behave
+// identically, which is all the result store needs under the runner
+// purity contract (each run gets its own instance). Floats use the
+// store's exact encoding (resultcache.Float) so no two distinct
+// configurations collide.
+func (a *AttackDecay) CacheKey() string {
+	h := resultcache.Float
+	p := a.p
+	return fmt.Sprintf("attack-decay|dev=%s|react=%s|decay=%s|perf=%s|refdecay=%s|smooth=%s|endstop=%d|fe=%s|min=%s|max=%s",
+		h(p.DeviationThreshold), h(p.ReactionChange), h(p.Decay), h(p.PerfDegThreshold),
+		h(p.RefIPCDecay), h(p.IPCSmoothing), p.EndstopCount, h(p.FrontEndMHz), h(p.MinMHz), h(p.MaxMHz))
+}
 
 // Observe implements Listing 1 of the paper for each controlled domain.
 func (a *AttackDecay) Observe(iv pipeline.IntervalView) [clock.NumControllable]float64 {

@@ -2,11 +2,13 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
 	"fmt"
 	"math"
 
 	"mcd/internal/clock"
 	"mcd/internal/pipeline"
+	"mcd/internal/resultcache"
 	"mcd/internal/runner"
 	"mcd/internal/sim"
 	"mcd/internal/stats"
@@ -38,6 +40,24 @@ func NewOfflineController(name string, sched Schedule) *OfflineController {
 
 // Name implements pipeline.Controller.
 func (o *OfflineController) Name() string { return o.name }
+
+// CacheKey implements resultcache.Keyer: the name plus a SHA-256 over
+// the exact (hex-encoded) schedule, so a replay run can be cached like
+// any fixed-policy run.
+func (o *OfflineController) CacheKey() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%q\n", o.name)
+	for _, iv := range o.sched {
+		for d, f := range iv {
+			if d > 0 {
+				h.Write([]byte{','})
+			}
+			h.Write([]byte(resultcache.Float(f)))
+		}
+		h.Write([]byte{'\n'})
+	}
+	return fmt.Sprintf("offline-replay|%s|%x", o.name, h.Sum(nil))
+}
 
 // Initial returns the frequencies for interval 0, to be applied before the
 // run starts.
@@ -94,6 +114,39 @@ type OfflineOptions struct {
 	// Workers bounds the concurrent candidate evaluations; zero or
 	// negative means GOMAXPROCS.
 	Workers int
+}
+
+// withDefaults resolves the zero-valued search parameters to the
+// defaults BuildOffline applies — the one place those defaults live.
+func (o OfflineOptions) withDefaults() OfflineOptions {
+	if o.Iterations == 0 {
+		o.Iterations = 6
+	}
+	if o.StepDown == 0 {
+		o.StepDown = 0.90
+	}
+	if o.StepUp == 0 {
+		o.StepUp = 1.15
+	}
+	if o.Candidates < 1 {
+		o.Candidates = 1
+	}
+	return o
+}
+
+// CacheExtra canonically encodes the resolved search parameters that
+// determine a BuildOffline outcome beyond its profiling spec (which
+// already carries config, profile, window, warmup and interval) — the
+// extra material for resultcache.SpecKeyExtra. Keeping it next to
+// withDefaults means a changed default changes every derived content
+// address, so stale store entries can never be served. Workers is
+// excluded: it never affects results (see DESIGN.md, "Runner
+// determinism").
+func (o OfflineOptions) CacheExtra() string {
+	r := o.withDefaults()
+	h := resultcache.Float
+	return fmt.Sprintf("offline|target=%s|iters=%d|down=%s|up=%s|cands=%d",
+		h(r.TargetDeg), r.Iterations, h(r.StepDown), h(r.StepUp), r.Candidates)
 }
 
 // stepExponent spreads candidate k's refinement aggressiveness around the
@@ -161,18 +214,7 @@ func refine(sched Schedule, cur, base stats.Result, deg float64, cfg pipeline.Co
 // frequency, pays no reactive lag, and can therefore cap the dilation
 // tightly — without reimplementing the shaker's dependence-graph passes.
 func BuildOffline(cfg pipeline.Config, prof workload.Profile, window uint64, opts OfflineOptions) (*OfflineController, stats.Result) {
-	if opts.Iterations == 0 {
-		opts.Iterations = 6
-	}
-	if opts.StepDown == 0 {
-		opts.StepDown = 0.90
-	}
-	if opts.StepUp == 0 {
-		opts.StepUp = 1.15
-	}
-	if opts.Candidates < 1 {
-		opts.Candidates = 1
-	}
+	opts = opts.withDefaults()
 	name := fmt.Sprintf("dynamic-%.0f%%", opts.TargetDeg*100)
 
 	base := sim.Run(sim.Spec{

@@ -1,0 +1,233 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"mcd/internal/wire"
+)
+
+// NewHandler exposes a Manager as the mcdserve HTTP API:
+//
+//	POST   /v1/runs          one run ({"async":true} to queue) or {"runs":[...]} batch
+//	POST   /v1/experiments   {"name":"table6"|...,"quick":true,...} — always a job
+//	GET    /v1/jobs          job list, newest first
+//	GET    /v1/jobs/{id}     job snapshot
+//	GET    /v1/jobs/{id}/events   NDJSON progress stream until terminal
+//	GET    /v1/jobs/{id}/result   the finished job's body
+//	DELETE /v1/jobs/{id}     cancel
+//	GET    /v1/healthz       liveness
+//	GET    /v1/cache/stats   result-store counters
+//
+// Synchronous single runs answer with the canonical result encoding and
+// an X-Cache: hit|miss header — the byte-identity contract makes a hit
+// indistinguishable from a recompute except for that header.
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) { handleRuns(m, w, r) })
+	mux.HandleFunc("POST /v1/experiments", func(w http.ResponseWriter, r *http.Request) { handleExperiments(m, w, r) })
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": m.Jobs()})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, ErrNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Snapshot())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) { handleEvents(m, w, r) })
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) { handleResult(m, w, r) })
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, ErrNotFound)
+			return
+		}
+		if snap := j.Snapshot(); snap.Terminal() {
+			writeError(w, http.StatusConflict, fmt.Errorf("job %s already %s", snap.ID, snap.State))
+			return
+		}
+		m.Cancel(j.ID())
+		writeJSON(w, http.StatusOK, map[string]string{"status": "cancelling"})
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/cache/stats", func(w http.ResponseWriter, r *http.Request) {
+		if m.Cache() == nil {
+			writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": true, "stats": m.Cache().Stats()})
+	})
+	return mux
+}
+
+// runsPayload is the POST /v1/runs body: one run's fields inline, or a
+// batch under "runs"; async turns the single-run form into a queued job.
+type runsPayload struct {
+	wire.RunRequest
+	Async bool              `json:"async,omitempty"`
+	Runs  []wire.RunRequest `json:"runs,omitempty"`
+}
+
+func handleRuns(m *Manager, w http.ResponseWriter, r *http.Request) {
+	var p runsPayload
+	if err := decodeBody(w, r, &p); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(p.Runs) > 0 {
+		j, err := m.SubmitBatch(p.Runs)
+		if err != nil {
+			writeSubmitError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, j.Snapshot())
+		return
+	}
+	if p.Async {
+		j, err := m.SubmitRun(p.RunRequest)
+		if err != nil {
+			writeSubmitError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, j.Snapshot())
+		return
+	}
+	// Synchronous: a stored result is served straight from the cache —
+	// a hash lookup, never queued behind running experiments. Only a
+	// miss costs a job, so the concurrency/queue bounds apply exactly
+	// to the requests that simulate.
+	if key, err := p.RunRequest.Key(); err == nil {
+		if body, ok := m.Cache().GetBytes(key); ok {
+			w.Header().Set("X-Cache", "hit")
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(body)
+			return
+		}
+	}
+	j, err := m.SubmitRun(p.RunRequest)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	body, snap, err := j.WaitResult(r.Context())
+	if err != nil {
+		// A client that gave up must not leave its job consuming queue
+		// or runner capacity; cancelling is also harmless for a job
+		// that already failed.
+		m.Cancel(j.ID())
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if snap.CacheHit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+func handleExperiments(m *Manager, w http.ResponseWriter, r *http.Request) {
+	var e wire.ExperimentRequest
+	if err := decodeBody(w, r, &e); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := m.SubmitExperiment(e)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Snapshot())
+}
+
+// handleEvents streams one NDJSON snapshot line per progress update,
+// closing after the terminal line (or when the client goes away).
+func handleEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
+	j, ok := m.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		ch := j.Watch()
+		snap := j.Snapshot()
+		if err := enc.Encode(snap); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if snap.Terminal() {
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func handleResult(m *Manager, w http.ResponseWriter, r *http.Request) {
+	j, ok := m.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	snap := j.Snapshot()
+	switch snap.State {
+	case Done:
+		body, _ := j.Result()
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	case Failed:
+		writeError(w, http.StatusInternalServerError, errors.New(snap.Error))
+	default:
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s", snap.ID, snap.State))
+	}
+}
+
+// maxBodyBytes bounds every request body: the largest legitimate
+// payload (a full batch of run requests) is well under 1 MiB, and an
+// unbounded body would be the one way a single request could grow
+// memory past the queue bound.
+const maxBodyBytes = 1 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

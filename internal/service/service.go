@@ -1,0 +1,532 @@
+// Package service is the job layer of the serving subsystem: a bounded
+// queue of simulation jobs — single runs, batches over mcd.RunBatch,
+// and whole table/figure/sweep experiments — executed by a fixed pool
+// of job runners, with states, per-task progress, context cancellation
+// and result-store integration. cmd/mcdserve exposes it over HTTP via
+// NewHandler; the bounded queue means a flood of requests degrades to
+// queuing (then ErrQueueFull) rather than unbounded memory growth.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mcd"
+	"mcd/internal/resultcache"
+	"mcd/internal/wire"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states. A cancelled job reports Failed with a context error.
+const (
+	Queued  State = "queued"
+	Running State = "running"
+	Done    State = "done"
+	Failed  State = "failed"
+)
+
+// ErrQueueFull reports that the job queue is at its configured depth;
+// the client should retry later (the HTTP layer maps it to 429).
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrNotFound reports an unknown job ID.
+var ErrNotFound = errors.New("service: no such job")
+
+// maxBatchRuns bounds one batch job's size: a larger grid belongs in an
+// experiment (which streams cells through the pool) or several batches.
+const maxBatchRuns = 1024
+
+// Options configures a Manager.
+type Options struct {
+	// Runners is the number of jobs executing concurrently (default 1:
+	// one experiment at a time, each internally parallel).
+	Runners int
+	// QueueDepth bounds jobs waiting to run (default 64).
+	QueueDepth int
+	// Workers bounds the simulations running concurrently inside one
+	// job; zero or negative means GOMAXPROCS.
+	Workers int
+	// RetainJobs bounds the job table: beyond it the oldest *terminal*
+	// jobs (and their result bodies) are dropped, so a long-lived server
+	// under a flood of requests holds bounded memory. Queued and running
+	// jobs are never dropped. Default 512.
+	RetainJobs int
+	// Cache, if non-nil, backs every run with the content-addressed
+	// result store.
+	Cache *resultcache.Cache
+}
+
+// Manager owns the job table, the bounded queue and the runner pool.
+// The queue is a slice guarded by mu/cond rather than a channel, so
+// cancelling a queued job can remove it immediately — a departed
+// client's job frees its slot instead of occupying the queue until a
+// runner drains it.
+type Manager struct {
+	opts   Options
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signalled on pending growth and on close
+	pending []*Job
+	closed  bool
+	jobs    map[string]*Job
+	// terminal lists finished jobs still in the table, completion order
+	// — the pruner's eviction queue, so pruning is O(evicted) instead
+	// of a full-table scan per submission.
+	terminal []string
+	seq      int
+}
+
+// New starts a manager and its runner pool.
+func New(opts Options) *Manager {
+	if opts.Runners <= 0 {
+		opts.Runners = 1
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.RetainJobs <= 0 {
+		opts.RetainJobs = 512
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		opts:   opts,
+		ctx:    ctx,
+		cancel: cancel,
+		jobs:   make(map[string]*Job),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	for i := 0; i < opts.Runners; i++ {
+		m.wg.Add(1)
+		go m.runLoop()
+	}
+	return m
+}
+
+// Cache returns the manager's result store (may be nil).
+func (m *Manager) Cache() *resultcache.Cache { return m.opts.Cache }
+
+// Close cancels every job, waits for the runners to drain, and fails
+// whatever never got to run — so watchers (NDJSON streams, synchronous
+// waiters) always observe a terminal state and shutdown never hangs on
+// a queued job.
+func (m *Manager) Close() {
+	m.cancel()
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	for _, j := range m.jobs {
+		j.cancel()
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+	m.mu.Lock()
+	pending := m.pending
+	m.pending = nil
+	m.mu.Unlock()
+	for _, j := range pending {
+		j.fail(m.ctx.Err())
+	}
+}
+
+func (m *Manager) runLoop() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.pending) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		j := m.pending[0]
+		m.pending = m.pending[1:]
+		m.mu.Unlock()
+		m.execute(j)
+	}
+}
+
+// execute runs one job, translating panics (including the harness's
+// re-panicked task failures and context cancellations) into a Failed
+// state so a bad run can never kill the server.
+func (m *Manager) execute(j *Job) {
+	// Every exit leaves the job terminal: release its context (a
+	// cancelCtx stays registered on the manager's root context until
+	// cancelled — a leak over a long-lived server otherwise) and let
+	// the pruner see it.
+	defer func() {
+		j.cancel()
+		m.noteTerminal(j.id)
+	}()
+	if err := j.ctx.Err(); err != nil {
+		j.fail(err)
+		return
+	}
+	j.update(func(j *Job) {
+		j.state = Running
+		j.started = time.Now()
+	})
+	var (
+		body []byte
+		err  error
+	)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("job panicked: %v", r)
+			}
+		}()
+		body, err = j.run(j.ctx, j)
+	}()
+	if err == nil {
+		err = j.ctx.Err() // a cancelled job that limped to a result still failed
+	}
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	j.update(func(j *Job) {
+		j.state = Done
+		j.result = body
+		j.finished = time.Now()
+	})
+}
+
+// submit registers and enqueues a job; kind and total label it, run
+// produces the result body.
+func (m *Manager) submit(kind string, total int, run func(ctx context.Context, j *Job) ([]byte, error)) (*Job, error) {
+	jctx, jcancel := context.WithCancel(m.ctx)
+	m.mu.Lock()
+	if m.closed || len(m.pending) >= m.opts.QueueDepth {
+		closed := m.closed
+		m.mu.Unlock()
+		jcancel()
+		if closed {
+			return nil, errors.New("service: manager closed")
+		}
+		return nil, ErrQueueFull
+	}
+	m.seq++
+	j := &Job{
+		id:      fmt.Sprintf("j%06d", m.seq),
+		kind:    kind,
+		state:   Queued,
+		total:   total,
+		created: time.Now(),
+		ctx:     jctx,
+		cancel:  jcancel,
+		watch:   make(chan struct{}),
+		run:     run,
+	}
+	m.jobs[j.id] = j
+	m.pending = append(m.pending, j)
+	m.pruneLocked()
+	m.cond.Signal()
+	m.mu.Unlock()
+	return j, nil
+}
+
+// SubmitRun enqueues one simulation run.
+func (m *Manager) SubmitRun(r wire.RunRequest) (*Job, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return m.submit("run", 1, func(ctx context.Context, j *Job) ([]byte, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		body, hit, err := r.RunCachedBytes(m.opts.Cache)
+		if err != nil {
+			return nil, err
+		}
+		j.update(func(j *Job) {
+			j.done = 1
+			j.task = r.Normalize().Benchmark + "/" + r.Normalize().Config
+			j.hit = hit
+		})
+		return body, nil
+	})
+}
+
+// SubmitBatch enqueues a set of runs fanned out through mcd.RunBatch on
+// the manager's worker bound and result store; the result body is a
+// JSON array of canonical result encodings in submission order.
+func (m *Manager) SubmitBatch(reqs []wire.RunRequest) (*Job, error) {
+	if len(reqs) == 0 {
+		return nil, errors.New("service: empty batch")
+	}
+	if len(reqs) > maxBatchRuns {
+		return nil, fmt.Errorf("service: batch of %d runs exceeds the %d-run bound", len(reqs), maxBatchRuns)
+	}
+	for i, r := range reqs {
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("run %d: %w", i, err)
+		}
+	}
+	return m.submit("batch", len(reqs), func(ctx context.Context, j *Job) ([]byte, error) {
+		// Each run keeps its canonical body (indexes are distinct, so
+		// the slice needs no lock); the assembled array reuses those
+		// bytes instead of a decode/re-encode round trip per run.
+		bodies := make([][]byte, len(reqs))
+		batch := make([]mcd.RunRequest, len(reqs))
+		for i, r := range reqs {
+			i, r := i, r
+			n := r.Normalize()
+			batch[i] = mcd.RunRequest{
+				Name: fmt.Sprintf("%s/%s", n.Benchmark, n.Config),
+				Do: func(context.Context) (mcd.Result, error) {
+					b, _, err := r.RunCachedBytes(m.opts.Cache)
+					bodies[i] = b
+					return mcd.Result{}, err
+				},
+			}
+		}
+		outs, err := mcd.RunBatch(ctx, batch, mcd.BatchOptions{
+			Workers: m.opts.Workers,
+			Progress: func(done, total int, name string) {
+				j.update(func(j *Job) { j.done, j.total, j.task = done, total, name })
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		results := make([]json.RawMessage, len(outs))
+		for i, o := range outs {
+			if o.Err != nil {
+				return nil, fmt.Errorf("%s: %w", o.Name, o.Err)
+			}
+			b := bodies[i]
+			results[i] = b[:len(b)-1] // strip canonical trailing newline inside the array
+		}
+		body, err := json.Marshal(results)
+		if err != nil {
+			return nil, err
+		}
+		return append(body, '\n'), nil
+	})
+}
+
+// SubmitExperiment enqueues a whole table/figure/sweep; the result body
+// is the canonical wire.ExperimentResult encoding.
+func (m *Manager) SubmitExperiment(e wire.ExperimentRequest) (*Job, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return m.submit("experiment:"+e.Name, 0, func(ctx context.Context, j *Job) ([]byte, error) {
+		opts := e.Options()
+		opts.Workers = m.opts.Workers
+		opts.Cache = m.opts.Cache
+		opts.Context = ctx
+		opts.Progress = func(done, total int, name string) {
+			j.update(func(j *Job) { j.done, j.total, j.task = done, total, name })
+		}
+		res, err := wire.RunExperiment(opts, e.Name)
+		if err != nil {
+			return nil, err
+		}
+		return wire.EncodeExperiment(res)
+	})
+}
+
+// noteTerminal records a finished job for the pruner.
+func (m *Manager) noteTerminal(id string) {
+	m.mu.Lock()
+	m.terminal = append(m.terminal, id)
+	m.pruneLocked()
+	m.mu.Unlock()
+}
+
+// pruneLocked drops the oldest-finished jobs (and their result bodies)
+// once the table exceeds RetainJobs, bounding a long-lived server's
+// memory. Queued and running jobs are never dropped. Callers hold m.mu.
+func (m *Manager) pruneLocked() {
+	for len(m.jobs) > m.opts.RetainJobs && len(m.terminal) > 0 {
+		delete(m.jobs, m.terminal[0])
+		m.terminal = m.terminal[1:]
+	}
+}
+
+// Job returns a job by ID.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels a job: a still-queued job is removed from the queue —
+// freeing its slot — and fails immediately; a running experiment's
+// context aborts it between simulations.
+func (m *Manager) Cancel(id string) bool {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return false
+	}
+	dequeued := false
+	for i, q := range m.pending {
+		if q == j {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			dequeued = true
+			break
+		}
+	}
+	m.mu.Unlock()
+	j.cancel()
+	if dequeued {
+		j.fail(context.Canceled)
+		m.noteTerminal(j.id)
+	}
+	return true
+}
+
+// Jobs snapshots every known job, newest first.
+func (m *Manager) Jobs() []Snapshot {
+	m.mu.Lock()
+	js := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		js = append(js, j)
+	}
+	m.mu.Unlock()
+	snaps := make([]Snapshot, len(js))
+	for i, j := range js {
+		snaps[i] = j.Snapshot()
+	}
+	// IDs are sequence numbers zero-padded to six digits; comparing by
+	// (length, string) keeps submission order even past a million jobs
+	// in one process lifetime. Newest first.
+	sort.Slice(snaps, func(a, b int) bool {
+		x, y := snaps[a].ID, snaps[b].ID
+		if len(x) != len(y) {
+			return len(x) > len(y)
+		}
+		return x > y
+	})
+	return snaps
+}
+
+// Job is one unit of queued work. All fields are guarded by mu and read
+// through Snapshot.
+type Job struct {
+	id   string
+	kind string
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	run    func(ctx context.Context, j *Job) ([]byte, error)
+
+	mu       sync.Mutex
+	state    State
+	done     int
+	total    int
+	task     string
+	errMsg   string
+	result   []byte
+	hit      bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	watch    chan struct{}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// update applies fn under the job lock and wakes every watcher.
+func (j *Job) update(fn func(*Job)) {
+	j.mu.Lock()
+	fn(j)
+	close(j.watch)
+	j.watch = make(chan struct{})
+	j.mu.Unlock()
+}
+
+func (j *Job) fail(err error) {
+	j.update(func(j *Job) {
+		j.state = Failed
+		j.errMsg = err.Error()
+		j.finished = time.Now()
+	})
+}
+
+// Watch returns a channel closed at the next state/progress change;
+// callers grab it before Snapshot so no update is missed.
+func (j *Job) Watch() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.watch
+}
+
+// Result returns the finished job's body.
+func (j *Job) Result() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != Done {
+		return nil, false
+	}
+	return j.result, true
+}
+
+// Snapshot is the JSON shape of a job's observable state.
+type Snapshot struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	State State  `json:"state"`
+	Done  int    `json:"done"`
+	Total int    `json:"total,omitempty"`
+	Task  string `json:"task,omitempty"`
+	Error string `json:"error,omitempty"`
+	// CacheHit reports that a single-run job was served from the result
+	// store.
+	CacheHit bool      `json:"cache_hit,omitempty"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+}
+
+// Terminal reports whether the job has stopped moving.
+func (s Snapshot) Terminal() bool { return s.State == Done || s.State == Failed }
+
+// Snapshot copies the job's observable state.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Snapshot{
+		ID: j.id, Kind: j.kind, State: j.state,
+		Done: j.done, Total: j.total, Task: j.task,
+		Error: j.errMsg, CacheHit: j.hit,
+		Created: j.created, Started: j.started, Finished: j.finished,
+	}
+}
+
+// WaitResult blocks until the job finishes (or ctx is cancelled) and
+// returns the result body and final snapshot.
+func (j *Job) WaitResult(ctx context.Context) ([]byte, Snapshot, error) {
+	for {
+		ch := j.Watch()
+		snap := j.Snapshot()
+		if snap.Terminal() {
+			if snap.State == Failed {
+				return nil, snap, errors.New(snap.Error)
+			}
+			body, _ := j.Result()
+			return body, snap, nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, snap, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"mcd/internal/bench"
+	"mcd/internal/stats"
+	"mcd/internal/workload"
+)
+
+// Experiment names accepted by ExperimentRequest.Name.
+const (
+	ExpTable6         = "table6"
+	ExpFig4           = "fig4"
+	ExpHeadline       = "headline"
+	ExpAll            = "all"
+	ExpSweepTarget    = "sweep-target"
+	ExpSweepDecay     = "sweep-decay"
+	ExpSweepReaction  = "sweep-reaction"
+	ExpSweepDeviation = "sweep-deviation"
+)
+
+// Experiments returns the valid experiment names, sorted.
+func Experiments() []string {
+	e := []string{ExpTable6, ExpFig4, ExpHeadline, ExpAll,
+		ExpSweepTarget, ExpSweepDecay, ExpSweepReaction, ExpSweepDeviation}
+	sort.Strings(e)
+	return e
+}
+
+// ExperimentRequest names a whole table, figure or sweep: the JSON body
+// of POST /v1/experiments and the programmatic form of cmd/mcdbench and
+// cmd/mcdsweep invocations.
+type ExperimentRequest struct {
+	Name string `json:"name"`
+	// Quick selects the reduced scale (bench.QuickOptions).
+	Quick bool `json:"quick,omitempty"`
+	// Window/Warmup override the scale's instruction counts.
+	Window uint64 `json:"window,omitempty"`
+	Warmup uint64 `json:"warmup,omitempty"`
+	// Benchmarks filters the catalog by name; empty means the scale's
+	// default set.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+}
+
+// Validate checks the experiment name and the benchmark filter — an
+// unknown benchmark would otherwise be silently filtered out of the
+// grid and the experiment would "succeed" over an empty catalog.
+func (e ExperimentRequest) Validate() error {
+	known := false
+	for _, n := range Experiments() {
+		if n == e.Name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown experiment %q (valid: %s)", e.Name, strings.Join(Experiments(), ", "))
+	}
+	for _, b := range e.Benchmarks {
+		if _, ok := workload.Lookup(b); !ok {
+			return fmt.Errorf("unknown benchmark %q (see mcdbench -exp table5 for the catalog)", b)
+		}
+	}
+	return nil
+}
+
+// Options maps the request onto harness options the same way the
+// mcdbench flags do. Cache, Workers, Progress and Context are the
+// caller's to set on the returned value.
+func (e ExperimentRequest) Options() bench.Options {
+	opts := bench.DefaultOptions()
+	if e.Quick {
+		opts = bench.QuickOptions()
+	}
+	if e.Window != 0 {
+		opts.Window = e.Window
+	}
+	if e.Warmup != 0 {
+		opts.Warmup = e.Warmup
+	}
+	if len(e.Benchmarks) != 0 {
+		opts.Benchmarks = e.Benchmarks
+	}
+	return opts
+}
+
+// Comparison is the machine-readable form of one Table 6 / Figure 4
+// row: every configuration's Result for one benchmark.
+type Comparison struct {
+	Benchmark string       `json:"benchmark"`
+	Suite     string       `json:"suite"`
+	Sync      stats.Result `json:"sync"`
+	MCDBase   stats.Result `json:"mcd_base"`
+	AD        stats.Result `json:"attack_decay"`
+	Dyn1      stats.Result `json:"dynamic_1"`
+	Dyn5      stats.Result `json:"dynamic_5"`
+	GlobalAD  stats.Result `json:"global_attack_decay"`
+	GlobalD1  stats.Result `json:"global_dynamic_1"`
+	GlobalD5  stats.Result `json:"global_dynamic_5"`
+}
+
+// ExperimentResult is what the service serves for a finished experiment
+// job and what mcdbench/mcdsweep -json print: the human-readable table
+// text plus the structured series behind it.
+type ExperimentResult struct {
+	Experiment  string             `json:"experiment"`
+	Output      string             `json:"output"`
+	Comparisons []Comparison       `json:"comparisons,omitempty"`
+	Sweep       []bench.SweepPoint `json:"sweep,omitempty"`
+}
+
+// EncodeExperiment renders the canonical bytes of an experiment result
+// (compact JSON, trailing newline — the same convention as result
+// encodings).
+func EncodeExperiment(r ExperimentResult) ([]byte, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("wire: encode experiment: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// FromComparisons assembles the result of a grid experiment that has
+// already run, so one RunAll can feed several renderings (mcdbench
+// -exp all). ExpAll's output includes the static tables 1–5 followed by
+// the measured artifacts — exactly what the text CLI prints, so text
+// and JSON modes carry the same content.
+func FromComparisons(name string, cs []bench.Comparison) ExperimentResult {
+	out := ""
+	switch name {
+	case ExpTable6:
+		out = bench.Table6(cs)
+	case ExpFig4:
+		out = bench.Fig4(cs)
+	case ExpHeadline:
+		out = bench.Headline(cs)
+	case ExpAll:
+		for _, static := range []func() string{
+			bench.Table1, bench.Table2, bench.Table3, bench.Table4, bench.Table5,
+		} {
+			out += static() + "\n"
+		}
+		out += bench.Table6(cs) + "\n" + bench.Fig4(cs) + "\n" + bench.Headline(cs)
+	}
+	res := ExperimentResult{Experiment: name, Output: out, Comparisons: make([]Comparison, len(cs))}
+	for i, c := range cs {
+		res.Comparisons[i] = Comparison{
+			Benchmark: c.Bench.Name, Suite: c.Bench.Suite,
+			Sync: c.Sync, MCDBase: c.MCDBase, AD: c.AD, Dyn1: c.Dyn1, Dyn5: c.Dyn5,
+			GlobalAD: c.GlobalAD, GlobalD1: c.GlobalD1, GlobalD5: c.GlobalD5,
+		}
+	}
+	return res
+}
+
+// sweepSpec maps each sweep experiment to its runner and the exact
+// title/xlabel cmd/mcdsweep prints, so CLI and service output agree.
+var sweepSpec = map[string]struct {
+	title, xlabel string
+	run           func(bench.Options) []bench.SweepPoint
+}{
+	ExpSweepTarget: {
+		"Figure 5: performance degradation target (1.000_06.0_1.250_X.X)", "target",
+		func(o bench.Options) []bench.SweepPoint { return o.SweepTarget(nil) },
+	},
+	ExpSweepDecay: {
+		"Figures 6a/7a: Decay sensitivity (1.500_04.0_X.XXX_3.0)", "decay",
+		func(o bench.Options) []bench.SweepPoint { return o.SweepDecay(nil) },
+	},
+	ExpSweepReaction: {
+		"Figures 6b/7b: ReactionChange sensitivity (1.500_XX.X_0.750_3.0)", "reaction",
+		func(o bench.Options) []bench.SweepPoint { return o.SweepReaction(nil) },
+	},
+	ExpSweepDeviation: {
+		"Figures 6c/7c: DeviationThreshold sensitivity (X.XXX_06.0_0.175_2.5)", "deviation",
+		func(o bench.Options) []bench.SweepPoint { return o.SweepDeviation(nil) },
+	},
+}
+
+// RunExperiment executes a named experiment on the given harness
+// options. Grid experiments (table6/fig4/headline/all) run the Table 6
+// comparison matrix; sweep-* run the corresponding sensitivity sweep.
+func RunExperiment(opts bench.Options, name string) (ExperimentResult, error) {
+	if err := (ExperimentRequest{Name: name}).Validate(); err != nil {
+		return ExperimentResult{}, err
+	}
+	if s, ok := sweepSpec[name]; ok {
+		pts := s.run(opts)
+		return ExperimentResult{
+			Experiment: name,
+			Output:     bench.FormatSweep(s.title, s.xlabel, pts),
+			Sweep:      pts,
+		}, nil
+	}
+	return FromComparisons(name, opts.RunAll()), nil
+}

@@ -1,0 +1,211 @@
+// Package wire defines the machine-readable request and result
+// encodings shared by the command-line tools (-json flags) and the
+// mcdserve HTTP service, so a result printed by a CLI is byte-for-byte
+// the body the service would serve for the same request. Result bytes
+// themselves use the canonical encoding owned by internal/resultcache.
+package wire
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mcd/internal/core"
+	"mcd/internal/pipeline"
+	"mcd/internal/resultcache"
+	"mcd/internal/sim"
+	"mcd/internal/stats"
+	"mcd/internal/workload"
+)
+
+// Configuration names accepted by RunRequest.Config — the same set
+// cmd/mcdsim accepts.
+const (
+	ConfigSync        = "sync"
+	ConfigMCD         = "mcd"
+	ConfigAttackDecay = "attack-decay"
+	ConfigDynamic1    = "dynamic-1"
+	ConfigDynamic5    = "dynamic-5"
+)
+
+// Configs returns the valid configuration names, sorted.
+func Configs() []string {
+	c := []string{ConfigSync, ConfigMCD, ConfigAttackDecay, ConfigDynamic1, ConfigDynamic5}
+	sort.Strings(c)
+	return c
+}
+
+// RunRequest describes one simulation run: the JSON body of
+// POST /v1/runs and the programmatic form of cmd/mcdsim's flags.
+// Zero-valued fields take the mcdsim defaults.
+type RunRequest struct {
+	Benchmark string `json:"benchmark"`        // catalog name (default epic.decode)
+	Config    string `json:"config"`           // see Configs (default attack-decay)
+	Window    uint64 `json:"window,omitempty"` // measured instructions (default 400000; 0 would measure nothing)
+	// Warmup, Interval and SlewNsPerMHz are pointers because their
+	// explicit zeros are meaningful configurations distinct from
+	// "unset": warmup 0 measures from a cold start, interval 0 selects
+	// the pipeline's paper-scale 10,000-instruction default, slew 0 is
+	// an ideal instant regulator. nil takes the documented default.
+	Warmup       *uint64  `json:"warmup,omitempty"`          // default 200000
+	Interval     *uint64  `json:"interval,omitempty"`        // default 1000
+	SlewNsPerMHz *float64 `json:"slew_ns_per_mhz,omitempty"` // default 4.91
+}
+
+// DefaultSlewNsPerMHz is the compressed-scale regulator slew a request
+// gets when SlewNsPerMHz is nil (DESIGN.md, "time-scale compression").
+const DefaultSlewNsPerMHz = 4.91
+
+// U64 is a literal-pointer helper for the optional request fields.
+func U64(v uint64) *uint64 { return &v }
+
+// Normalize fills defaulted fields in, returning the canonical request.
+func (r RunRequest) Normalize() RunRequest {
+	if r.Benchmark == "" {
+		r.Benchmark = "epic.decode"
+	}
+	if r.Config == "" {
+		r.Config = ConfigAttackDecay
+	}
+	if r.Window == 0 {
+		r.Window = 400_000
+	}
+	if r.Warmup == nil {
+		r.Warmup = U64(200_000)
+	}
+	if r.Interval == nil {
+		r.Interval = U64(1000)
+	}
+	if r.SlewNsPerMHz == nil {
+		slew := DefaultSlewNsPerMHz
+		r.SlewNsPerMHz = &slew
+	}
+	return r
+}
+
+// Validate checks the benchmark and configuration names; its error
+// messages list the valid sets, making it the one source of truth for
+// CLI usage errors and HTTP 400 bodies.
+func (r RunRequest) Validate() error {
+	r = r.Normalize()
+	if _, ok := workload.Lookup(r.Benchmark); !ok {
+		return fmt.Errorf("unknown benchmark %q (see mcdbench -exp table5 for the catalog)", r.Benchmark)
+	}
+	if !knownConfig(r.Config) {
+		return fmt.Errorf("unknown config %q (valid: %s)", r.Config, strings.Join(Configs(), ", "))
+	}
+	return nil
+}
+
+func knownConfig(name string) bool {
+	for _, c := range Configs() {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// spec builds the simulation spec the request describes. The returned
+// spec has no controller for the off-line configs (the controller is
+// the product of the schedule search Run performs).
+func (r RunRequest) spec() (sim.Spec, workload.Benchmark, error) {
+	r = r.Normalize()
+	if err := r.Validate(); err != nil {
+		return sim.Spec{}, workload.Benchmark{}, err
+	}
+	b, _ := workload.Lookup(r.Benchmark)
+	cfg := pipeline.DefaultConfig()
+	cfg.SlewNsPerMHz = *r.SlewNsPerMHz
+	if r.Config == ConfigSync {
+		return sim.SynchronousSpec(cfg, b.Profile, r.Window, *r.Warmup, cfg.MaxFreqMHz, ConfigSync), b, nil
+	}
+	spec := sim.Spec{
+		Config:         cfg,
+		Profile:        b.Profile,
+		Window:         r.Window,
+		Warmup:         *r.Warmup,
+		IntervalLength: *r.Interval,
+		Name:           r.Config,
+	}
+	if r.Config == ConfigAttackDecay {
+		spec.Controller = core.NewAttackDecay(core.DefaultParams())
+	}
+	return spec, b, nil
+}
+
+func (r RunRequest) offlineTarget() (float64, bool) {
+	switch r.Normalize().Config {
+	case ConfigDynamic1:
+		return 0.01, true
+	case ConfigDynamic5:
+		return 0.05, true
+	}
+	return 0, false
+}
+
+// offlineOpts is the search configuration an off-line request runs
+// with; both Run and Key derive from it, and core.OfflineOptions.
+// CacheExtra owns the canonical encoding of its resolved defaults.
+func offlineOpts(spec sim.Spec, target float64) core.OfflineOptions {
+	return core.OfflineOptions{
+		TargetDeg:      target,
+		Warmup:         spec.Warmup,
+		IntervalLength: spec.IntervalLength,
+	}
+}
+
+// Key returns the request's content address in the result store.
+func (r RunRequest) Key() (string, error) {
+	spec, _, err := r.spec()
+	if err != nil {
+		return "", err
+	}
+	if target, ok := r.offlineTarget(); ok {
+		return resultcache.SpecKeyExtra(spec, offlineOpts(spec, target).CacheExtra())
+	}
+	return resultcache.SpecKey(spec)
+}
+
+// Run executes the request. It is a pure function of the request —
+// exactly what cmd/mcdsim computes for the same flags — which is what
+// makes the result cacheable under the request's Key.
+func (r RunRequest) Run() (stats.Result, error) {
+	spec, _, err := r.spec()
+	if err != nil {
+		return stats.Result{}, err
+	}
+	if target, ok := r.offlineTarget(); ok {
+		ctrl, _ := core.BuildOffline(spec.Config, spec.Profile, spec.Window, offlineOpts(spec, target))
+		spec.Controller = ctrl
+		spec.InitialFreqMHz = ctrl.Initial()
+	}
+	return sim.Run(spec), nil
+}
+
+// RunCachedBytes executes the request through the result store and
+// returns only the canonical body — the hot serving path, which never
+// pays a decode: hit reports whether the bytes came from the cache (or
+// an in-flight identical computation) rather than a fresh simulation.
+// A nil cache always computes.
+func (r RunRequest) RunCachedBytes(c *resultcache.Cache) (body []byte, hit bool, err error) {
+	if err := r.Validate(); err != nil {
+		return nil, false, err
+	}
+	compute := func() ([]byte, error) {
+		rr, err := r.Run()
+		if err != nil {
+			return nil, err
+		}
+		return resultcache.EncodeResult(rr)
+	}
+	if c == nil {
+		body, err = compute()
+		return body, false, err
+	}
+	key, err := r.Key()
+	if err != nil {
+		return nil, false, err
+	}
+	return c.DoBytes(key, compute)
+}

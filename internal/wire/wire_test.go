@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateListsValidSets(t *testing.T) {
+	err := RunRequest{Benchmark: "adpcm", Config: "bogus"}.Validate()
+	if err == nil {
+		t.Fatal("unknown config accepted")
+	}
+	for _, c := range Configs() {
+		if !strings.Contains(err.Error(), c) {
+			t.Errorf("config error %q does not list %q", err, c)
+		}
+	}
+	if err := (RunRequest{Benchmark: "nonesuch"}).Validate(); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if err := (ExperimentRequest{Name: "bogus"}).Validate(); err == nil {
+		t.Fatal("unknown experiment accepted")
+	} else {
+		for _, e := range Experiments() {
+			if !strings.Contains(err.Error(), e) {
+				t.Errorf("experiment error %q does not list %q", err, e)
+			}
+		}
+	}
+}
+
+// TestKeysDistinguishRequests: every config of the same benchmark gets
+// its own content address, and the defaults are part of it (an explicit
+// default-valued request equals a zero-valued one).
+func TestKeysDistinguishRequests(t *testing.T) {
+	seen := map[string]string{}
+	for _, cfg := range Configs() {
+		k, err := (RunRequest{Benchmark: "adpcm", Config: cfg, Window: 8000, Warmup: U64(4000)}).Key()
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("configs %s and %s share a key", prev, cfg)
+		}
+		seen[k] = cfg
+	}
+
+	implicit, err := RunRequest{}.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slew := DefaultSlewNsPerMHz
+	explicit, err := RunRequest{
+		Benchmark: "epic.decode", Config: ConfigAttackDecay,
+		Window: 400_000, Warmup: U64(200_000), Interval: U64(1000), SlewNsPerMHz: &slew,
+	}.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if implicit != explicit {
+		t.Fatal("normalization is not part of the key: defaults and explicit values differ")
+	}
+
+	// Explicit zeros (ideal regulator, cold start, paper-scale default
+	// interval) are distinct configurations, not "unset".
+	zero := 0.0
+	for label, req := range map[string]RunRequest{
+		"slew 0":     {SlewNsPerMHz: &zero},
+		"warmup 0":   {Warmup: U64(0)},
+		"interval 0": {Interval: U64(0)},
+	} {
+		k, err := req.Key()
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if k == implicit {
+			t.Fatalf("%s collapsed onto the default", label)
+		}
+	}
+}

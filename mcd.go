@@ -30,6 +30,7 @@ import (
 	"mcd/internal/clock"
 	"mcd/internal/core"
 	"mcd/internal/pipeline"
+	"mcd/internal/resultcache"
 	"mcd/internal/runner"
 	"mcd/internal/sim"
 	"mcd/internal/stats"
@@ -119,6 +120,35 @@ type BatchResult struct {
 	Err error
 }
 
+// ResultCache is the content-addressed deterministic result store:
+// because every run is a pure function of its Spec, a spec's SHA-256
+// content address (SpecKey) names a result byte-identical to a
+// recompute. The store is two-tier (byte-bounded in-memory LRU over an
+// optional on-disk directory with atomic writes) and single-flights
+// concurrent identical computations. A nil *ResultCache is valid
+// everywhere and means "no caching". cmd/mcdserve serves the same store
+// over HTTP.
+type ResultCache = resultcache.Cache
+
+// CacheOptions configures NewResultCache.
+type CacheOptions = resultcache.Options
+
+// CacheStats are the store's observability counters.
+type CacheStats = resultcache.Stats
+
+// NewResultCache builds a result store, creating the disk directory
+// when CacheOptions.Dir is set.
+func NewResultCache(o CacheOptions) (*ResultCache, error) { return resultcache.New(o) }
+
+// SpecKey returns the content address of a run: the SHA-256 of a
+// canonical, versioned encoding of every field of the spec. Specs whose
+// Controller cannot describe itself canonically (any controller other
+// than nil, NewAttackDecay's, or an off-line schedule) are uncacheable
+// and return an error; custom controllers opt in by implementing
+// CacheKey() string (see internal/resultcache.Keyer and DESIGN.md,
+// "Serving layer").
+func SpecKey(s Spec) (string, error) { return resultcache.SpecKey(s) }
+
 // BatchOptions configures RunBatch.
 type BatchOptions struct {
 	// Workers bounds concurrently executing runs; zero or negative means
@@ -126,6 +156,12 @@ type BatchOptions struct {
 	Workers int
 	// Progress, if non-nil, is called (serialized) as each run finishes.
 	Progress func(done, total int, name string)
+	// Cache, if non-nil, is consulted before each Spec-based run: a
+	// request whose SpecKey is already stored returns the cached result
+	// (byte-identical to a recompute) without simulating, and concurrent
+	// identical requests collapse onto one simulation. Do-based requests
+	// and uncacheable specs run normally.
+	Cache *ResultCache
 }
 
 // RunBatch fans independent runs out across a bounded worker pool and
@@ -140,7 +176,7 @@ func RunBatch(ctx context.Context, reqs []RunRequest, opts BatchOptions) ([]Batc
 	for i, r := range reqs {
 		switch {
 		case r.Spec != nil && r.Do == nil:
-			tasks[i] = runner.SpecTask(r.Name, *r.Spec)
+			tasks[i] = resultcache.Task(opts.Cache, r.Name, *r.Spec)
 		case r.Do != nil && r.Spec == nil:
 			tasks[i] = runner.Task[Result]{Name: r.Name, Run: r.Do}
 		default:
