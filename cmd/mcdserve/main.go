@@ -12,8 +12,11 @@
 //
 // then:
 //
+//	curl localhost:8080/v1/controllers                # the controller registry
 //	curl -d '{"benchmark":"mcf","config":"attack-decay","window":40000,"warmup":20000}' localhost:8080/v1/runs
+//	curl -d '{"benchmark":"mcf","controller":"pi","params":{"kp":0.08},"window":40000}' localhost:8080/v1/runs
 //	curl -d '{"name":"table6","quick":true}' localhost:8080/v1/experiments
+//	curl -d '{"name":"sweep-controller","controller":"coord","param":"budget_mhz","quick":true}' localhost:8080/v1/experiments
 //	curl localhost:8080/v1/jobs/j000001/events        # NDJSON progress
 //	curl localhost:8080/v1/jobs/j000001/result
 //	curl localhost:8080/v1/cache/stats

@@ -1,20 +1,24 @@
-// Command mcdsim runs a single benchmark under one configuration and
+// Command mcdsim runs a single benchmark under one controller and
 // prints the measurements.
 //
 // Usage:
 //
 //	mcdsim -bench mcf -config attack-decay -window 400000 -warmup 200000
+//	mcdsim -bench mcf -config pi -params kp=0.08,setpoint=3
 //	mcdsim -bench mcf -json          # canonical JSON, as served by mcdserve
 //
-// Configurations: sync (fully synchronous 1 GHz), mcd (baseline MCD, all
-// domains at maximum), attack-decay (the paper's on-line algorithm),
-// dynamic-1 / dynamic-5 (off-line comparators).
+// The -config set is the controller registry (internal/control): the
+// paper's five configurations (sync, mcd, attack-decay, dynamic-1,
+// dynamic-5) plus every other registered controller (pi, coord,
+// dynamic, ...). `mcdserve` advertises the same set with parameter
+// schemas at GET /v1/controllers.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mcd"
 	"mcd/internal/resultcache"
@@ -24,14 +28,25 @@ import (
 func main() {
 	var (
 		benchName = flag.String("bench", "epic.decode", "benchmark name (see mcdbench -exp table5)")
-		config    = flag.String("config", "attack-decay", "sync | mcd | attack-decay | dynamic-1 | dynamic-5")
-		window    = flag.Uint64("window", 400_000, "measured instructions")
-		warmup    = flag.Uint64("warmup", 200_000, "warmup instructions")
-		interval  = flag.Uint64("interval", 1000, "controller sampling interval (instructions)")
-		slew      = flag.Float64("slew", 4.91, "regulator slew in ns/MHz (paper scale: 49.1)")
-		jsonOut   = flag.Bool("json", false, "emit the canonical machine-readable result encoding")
+		// The valid set comes from the controller registry via wire, so
+		// this listing and the service can never drift.
+		config = flag.String("config", "attack-decay",
+			"controller: "+strings.Join(wire.Controllers(), " | "))
+		params   = flag.String("params", "", "controller parameter overrides, name=value[,name=value...]")
+		window   = flag.Uint64("window", 400_000, "measured instructions")
+		warmup   = flag.Uint64("warmup", 200_000, "warmup instructions")
+		interval = flag.Uint64("interval", 1000, "controller sampling interval (instructions)")
+		slew     = flag.Float64("slew", 4.91, "regulator slew in ns/MHz (paper scale: 49.1)")
+		jsonOut  = flag.Bool("json", false, "emit the canonical machine-readable result encoding")
 	)
 	flag.Parse()
+
+	p, err := wire.ParseParams(*params)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcdsim: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	// warmup/interval/slew are passed as pointers: the flags always
 	// carry explicit values, so -warmup 0 (cold start), -interval 0
@@ -40,13 +55,14 @@ func main() {
 	req := wire.RunRequest{
 		Benchmark:    *benchName,
 		Config:       *config,
+		Params:       p,
 		Window:       *window,
 		Warmup:       warmup,
 		Interval:     interval,
 		SlewNsPerMHz: slew,
 	}
-	// Reject unknown benchmark/config values up front with the valid
-	// sets, before any simulation starts.
+	// Reject unknown benchmark/controller/parameter values up front with
+	// the valid sets, before any simulation starts.
 	if err := req.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "mcdsim: %v\n", err)
 		flag.Usage()

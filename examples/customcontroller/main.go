@@ -1,11 +1,20 @@
 // customcontroller plugs a user-defined control algorithm into the
-// simulator through the public Controller interface, and races it against
-// the paper's Attack/Decay on the same workload.
+// controller registry and races it — by name, exactly the way the CLIs
+// and the service run controllers — against the paper's Attack/Decay
+// and the two registry-native alternatives (pi, coord) on the same
+// workload.
 //
 // The custom policy is a simple occupancy proportional controller: each
-// domain's frequency is set proportional to how full its issue queue is.
-// It reacts faster than Attack/Decay but, lacking the attack/decay
-// asymmetry and the IPC guard, it trades more performance for its energy.
+// domain's frequency is set proportional to how full its issue queue
+// is. It reacts faster than Attack/Decay but, lacking the attack/decay
+// asymmetry and the IPC guard, it trades more performance for its
+// energy.
+//
+// The point of the example is the registration: one RegisterController
+// call makes "proportional" a first-class controller — resolvable by
+// name, parameterized through its schema, content-addressable in the
+// result cache (via CacheKey) — with no edits to any CLI or service
+// code.
 package main
 
 import (
@@ -16,11 +25,12 @@ import (
 
 // proportional implements mcd.Controller.
 type proportional struct {
+	gain  float64
 	capOf [mcd.NumControllable]float64
 }
 
-func newProportional() *proportional {
-	p := &proportional{}
+func newProportional(gain float64) *proportional {
+	p := &proportional{gain: gain}
 	cfg := mcd.DefaultConfig()
 	p.capOf[mcd.Integer] = float64(cfg.IntIQSize)
 	p.capOf[mcd.FloatingPoint] = float64(cfg.FPIQSize)
@@ -30,12 +40,18 @@ func newProportional() *proportional {
 
 func (p *proportional) Name() string { return "proportional" }
 
+// CacheKey makes proportional runs content-addressable in the result
+// store: two fresh instances with the same gain behave identically.
+func (p *proportional) CacheKey() string {
+	return fmt.Sprintf("proportional|gain=%g", p.gain)
+}
+
 func (p *proportional) Observe(iv mcd.IntervalView) [mcd.NumControllable]float64 {
 	var targets [mcd.NumControllable]float64
 	targets[mcd.FrontEnd] = 1000 // pinned, like the paper
 	for _, d := range []mcd.Domain{mcd.Integer, mcd.FloatingPoint, mcd.LoadStore} {
 		fill := iv.QueueAvg[d] / p.capOf[d] // 0..1 occupancy
-		f := 250 + fill*3*(1000-250)        // full at 1/3 occupancy
+		f := 250 + fill*p.gain*(1000-250)   // full speed at 1/gain occupancy
 		if f > 1000 {
 			f = 1000
 		}
@@ -45,26 +61,42 @@ func (p *proportional) Observe(iv mcd.IntervalView) [mcd.NumControllable]float64
 }
 
 func main() {
+	// The single registration: after this, "proportional" is a name the
+	// whole system understands.
+	mcd.RegisterController(mcd.ControllerDef{
+		Name: "proportional",
+		Doc:  "occupancy-proportional frequency (example controller)",
+		Schema: mcd.ControllerSchema{
+			{Name: "gain", Default: 3, Min: 1, Max: 8,
+				Doc: "occupancy fraction at which a domain reaches full speed (inverse)"},
+		},
+		New: func(p mcd.ControllerParams) (mcd.Controller, error) {
+			return newProportional(p["gain"]), nil
+		},
+	})
+
 	bench, _ := mcd.LookupBenchmark("jpeg")
 	cfg := mcd.DefaultConfig()
 	cfg.SlewNsPerMHz = 4.91
-	spec := mcd.Spec{
+	run := mcd.ControllerRun{
 		Config: cfg, Profile: bench.Profile,
 		Window: 300_000, Warmup: 150_000, IntervalLength: 1000,
 	}
 
-	base := mcd.Run(spec)
-
-	spec.Controller = newProportional()
-	spec.Name = "proportional"
-	prop := mcd.Run(spec)
-
-	spec.Controller = mcd.NewAttackDecay(mcd.DefaultParams())
-	spec.Name = "attack-decay"
-	ad := mcd.Run(spec)
+	// The baseline MCD processor is a registered controller too.
+	baseSpec, err := mcd.ControllerSpec("mcd", nil, run)
+	if err != nil {
+		panic(err)
+	}
+	base := mcd.Run(baseSpec)
 
 	fmt.Printf("%-14s %9s %11s %11s\n", "controller", "perf-deg", "energy-sav", "EDP-improv")
-	for _, r := range []mcd.Result{prop, ad} {
+	for _, name := range []string{"proportional", "attack-decay", "pi", "coord"} {
+		spec, err := mcd.ControllerSpec(name, nil, run)
+		if err != nil {
+			panic(err)
+		}
+		r := mcd.Run(spec)
 		c := mcd.Compare(r, base)
 		fmt.Printf("%-14s %8.1f%% %10.1f%% %10.1f%%\n",
 			r.Config, c.PerfDegradation*100, c.EnergySavings*100, c.EDPImprovement*100)

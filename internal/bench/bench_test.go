@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mcd/internal/clock"
+	"mcd/internal/resultcache"
 	"mcd/internal/workload"
 )
 
@@ -17,6 +18,66 @@ func tiny() Options {
 	o.OfflineIters = 2
 	o.Benchmarks = []string{"adpcm"}
 	return o
+}
+
+// TestSweepControllerShapes: the registry-generic sweep produces one
+// point per value for any registered controller, reuses completed cells
+// through the cache, and rejects unknown names through the registry's
+// errors.
+func TestSweepControllerShapes(t *testing.T) {
+	o := tiny()
+	o.Window, o.Warmup = 20_000, 10_000
+	c, err := resultcache.New(resultcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Cache = c
+
+	values := []float64{0.02, 0.1}
+	pts, err := o.SweepController("pi", "kp", values, map[string]float64{"setpoint": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(values) {
+		t.Fatalf("got %d points, want %d", len(pts), len(values))
+	}
+	for i, p := range pts {
+		if p.Value != values[i] {
+			t.Errorf("point %d value %v, want %v", i, p.Value, values[i])
+		}
+	}
+	misses := c.Stats().Misses
+
+	// The same sweep again must recompute nothing and summarize
+	// identically.
+	again, err := o.SweepController("pi", "kp", values, map[string]float64{"setpoint": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Misses != misses {
+		t.Errorf("repeat sweep simulated %d new cells", s.Misses-misses)
+	}
+	for i := range pts {
+		if again[i] != pts[i] {
+			t.Errorf("point %d differs across cached repeat", i)
+		}
+	}
+
+	// Default values come from the schema's documented range.
+	defPts, err := o.SweepController("coord", "budget_mhz", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defPts) < 2 {
+		t.Fatalf("range-sampled sweep produced %d points", len(defPts))
+	}
+
+	if _, err := o.SweepController("bogus", "kp", values, nil); err == nil || !strings.Contains(err.Error(), "pi") {
+		t.Errorf("unknown controller error %v should list the valid set", err)
+	}
+	if _, err := o.SweepController("pi", "bogus", values, nil); err == nil || !strings.Contains(err.Error(), "kp") {
+		t.Errorf("unknown parameter error %v should list the schema", err)
+	}
 }
 
 func TestStaticTablesRender(t *testing.T) {

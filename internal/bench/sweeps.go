@@ -1,12 +1,17 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"mcd/internal/clock"
+	"mcd/internal/control"
 	"mcd/internal/core"
+	"mcd/internal/resultcache"
 	"mcd/internal/runner"
+	"mcd/internal/sim"
 	"mcd/internal/stats"
+	"mcd/internal/workload"
 )
 
 // SweepPoint is one x-axis value of a sensitivity figure with the
@@ -17,19 +22,24 @@ type SweepPoint struct {
 	Summary stats.Summary
 }
 
+// baselines runs the per-benchmark baseline MCD cells every sweep
+// summarizes against, as one parallel batch in catalog order.
+func (o Options) baselines(cat []workload.Benchmark) []stats.Result {
+	tasks := make([]runner.Task[stats.Result], len(cat))
+	for i, b := range cat {
+		tasks[i] = o.task(b.Name+"/mcd-base",
+			o.spec(b, nil, [clock.NumControllable]float64{}, "mcd-base"))
+	}
+	return o.mapTasks(tasks)
+}
+
 // sweep runs Attack/Decay across the catalog once per parameter value.
 // The per-benchmark baselines form one parallel batch and the full
 // (value × benchmark) grid a second one; points are assembled in value
 // order, so the output is identical for any worker count.
 func (o Options) sweep(values []float64, apply func(*core.Params, float64)) []SweepPoint {
 	cat := o.catalog()
-
-	baseTasks := make([]runner.Task[stats.Result], len(cat))
-	for i, b := range cat {
-		baseTasks[i] = o.task(b.Name+"/mcd-base",
-			o.spec(b, nil, [clock.NumControllable]float64{}, "mcd-base"))
-	}
-	bases := o.mapTasks(baseTasks)
+	bases := o.baselines(cat)
 
 	var grid []runner.Task[stats.Result]
 	for _, v := range values {
@@ -58,7 +68,7 @@ func (o Options) sweep(values []float64, apply func(*core.Params, float64)) []Sw
 // performance degradation target (paper values 0–12%), with the
 // parameters otherwise fixed at 1.000_06.0_1.250_X.X.
 func (o Options) SweepTarget(values []float64) []SweepPoint {
-	if values == nil {
+	if len(values) == 0 {
 		values = []float64{0.01, 0.02, 0.04, 0.06, 0.08, 0.10, 0.12}
 	}
 	o.Params.DeviationThreshold = 0.010
@@ -70,7 +80,7 @@ func (o Options) SweepTarget(values []float64) []SweepPoint {
 // SweepDecay reproduces Figures 6(a)/7(a): Decay swept 0–2% with
 // parameters 1.500_04.0_X.XXX_3.0.
 func (o Options) SweepDecay(values []float64) []SweepPoint {
-	if values == nil {
+	if len(values) == 0 {
 		values = []float64{0.0005, 0.00175, 0.005, 0.0075, 0.0125, 0.0175, 0.02}
 	}
 	o.Params.DeviationThreshold = 0.015
@@ -82,7 +92,7 @@ func (o Options) SweepDecay(values []float64) []SweepPoint {
 // SweepReaction reproduces Figures 6(b)/7(b): ReactionChange swept
 // 0.5–15.5% with parameters 1.500_XX.X_0.750_3.0.
 func (o Options) SweepReaction(values []float64) []SweepPoint {
-	if values == nil {
+	if len(values) == 0 {
 		values = []float64{0.005, 0.02, 0.04, 0.06, 0.09, 0.12, 0.155}
 	}
 	o.Params.DeviationThreshold = 0.015
@@ -94,7 +104,7 @@ func (o Options) SweepReaction(values []float64) []SweepPoint {
 // SweepDeviation reproduces Figures 6(c)/7(c): DeviationThreshold swept
 // 0–2.5% with parameters X.XXX_06.0_0.175_2.5.
 func (o Options) SweepDeviation(values []float64) []SweepPoint {
-	if values == nil {
+	if len(values) == 0 {
 		values = []float64{0.0025, 0.005, 0.0075, 0.0125, 0.0175, 0.025}
 	}
 	o.Params.ReactionChange = 0.060
@@ -103,15 +113,140 @@ func (o Options) SweepDeviation(values []float64) []SweepPoint {
 	return o.sweep(values, func(p *core.Params, v float64) { p.DeviationThreshold = v })
 }
 
+// SweepController runs a sensitivity sweep over one numeric parameter
+// of any registered controller: for each value, the named controller is
+// resolved with {param: value} overlaid on fixed (then on its schema
+// defaults) and run across the catalog, summarized against the
+// per-benchmark baseline MCD runs — the registry-generic form of the
+// Figure 5–7 sweeps, available to pi, coord, dynamic and anything
+// registered later. A nil values slice samples the schema field's
+// documented [Min, Max] range at sweepSamples evenly spaced points.
+// Grid cells are cache-aware exactly like the fixed sweeps.
+func (o Options) SweepController(name, param string, values []float64, fixed map[string]float64) ([]SweepPoint, error) {
+	reg, ok := control.Lookup(name)
+	if !ok {
+		// Resolve owns the error wording (sorted valid set).
+		_, err := control.Resolve(name, nil)
+		return nil, err
+	}
+	field, ok := reg.Schema.Field(param)
+	if !ok {
+		// A resolve with only the unknown parameter reports the schema's
+		// valid field set.
+		_, err := control.Resolve(name, control.Params{param: 0})
+		return nil, err
+	}
+	if len(values) == 0 {
+		values = sampleRange(field.Min, field.Max, sweepSamples)
+	}
+
+	cat := o.catalog()
+	bases := o.baselines(cat)
+
+	var grid []runner.Task[stats.Result]
+	for _, v := range values {
+		p := control.Params{}
+		// The harness's off-line iteration bound applies to definitions
+		// that declare a search-iteration parameter, exactly as it does
+		// to the Table 6 grid cells — quick-mode sweeps must not
+		// silently pay full-depth searches. Explicit overrides win.
+		if ip := reg.SearchItersParam; ip != "" && o.OfflineIters > 0 && param != ip {
+			p[ip] = float64(o.OfflineIters)
+		}
+		for k, fv := range fixed {
+			p[k] = fv
+		}
+		p[param] = v
+		res, err := control.Resolve(name, p)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range cat {
+			run := control.Run{
+				Config:         o.config(),
+				Profile:        b.Profile,
+				Window:         o.Window,
+				Warmup:         o.Warmup,
+				IntervalLength: o.IntervalLength,
+			}
+			label := fmt.Sprintf("%s/%s@%g", b.Name, name, v)
+			grid = append(grid, o.controlTask(label, res, run))
+		}
+	}
+	runs := o.mapTasks(grid)
+
+	points := make([]SweepPoint, len(values))
+	for vi, v := range values {
+		var comps []stats.Comparison
+		for bi := range cat {
+			comps = append(comps, stats.Compare(runs[vi*len(cat)+bi], bases[bi]))
+		}
+		points[vi] = SweepPoint{Value: v, Summary: stats.Summarize(comps)}
+	}
+	return points, nil
+}
+
+// controlTask wraps one registry-resolved run as a cache-aware grid
+// task: addressed by the resolution's content key (which never pays for
+// compound preparation), computed through Resolved.Spec.
+func (o Options) controlTask(label string, res control.Resolved, run control.Run) runner.Task[stats.Result] {
+	compute := func() (stats.Result, error) {
+		spec, err := res.Spec(run)
+		if err != nil {
+			return stats.Result{}, err
+		}
+		return sim.Run(spec), nil
+	}
+	if o.Cache != nil {
+		if key, err := res.Key(run); err == nil {
+			return resultcache.TaskKeyed(o.Cache, label, key, compute)
+		}
+	}
+	return runner.Task[stats.Result]{Name: label, Run: func(context.Context) (stats.Result, error) { return compute() }}
+}
+
+// sweepSamples is how many points a controller sweep takes from the
+// schema range when no explicit values are given — the same count the
+// paper's sensitivity figures plot.
+const sweepSamples = 7
+
+// sampleRange returns n evenly spaced values across [lo, hi].
+func sampleRange(lo, hi float64, n int) []float64 {
+	if n < 2 || hi <= lo {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
 // FormatSweep renders a sweep as the two series the paper plots: EDP
-// improvement (Figure 6) and power/performance ratio (Figure 7), plus the
-// measured degradation (Figure 5a's y-axis).
+// improvement (Figure 6) and power/performance ratio (Figure 7), plus
+// the measured degradation (Figure 5a's y-axis). The swept values are
+// printed as percentages — the paper's parameters are all fractions.
 func FormatSweep(title, xlabel string, points []SweepPoint) string {
+	return formatSweep(title, xlabel, points, func(v float64) string {
+		return fmt.Sprintf("%11.3f%%", v*100)
+	})
+}
+
+// FormatControllerSweep renders a registry-generic sweep: swept values
+// are printed raw, because a controller schema parameter can be
+// anything from a fraction to a MHz budget to a queue occupancy.
+func FormatControllerSweep(title, xlabel string, points []SweepPoint) string {
+	return formatSweep(title, xlabel, points, func(v float64) string {
+		return fmt.Sprintf("%12.6g", v)
+	})
+}
+
+func formatSweep(title, xlabel string, points []SweepPoint, value func(float64) string) string {
 	s := title + "\n"
 	s += fmt.Sprintf("%-12s %10s %12s %12s %12s\n", xlabel, "PerfDeg", "EnergySav", "EDPImprov", "Power/Perf")
 	for _, p := range points {
-		s += fmt.Sprintf("%11.3f%% %9.1f%% %11.1f%% %11.1f%% %12.2f\n",
-			p.Value*100,
+		s += fmt.Sprintf("%s %9.1f%% %11.1f%% %11.1f%% %12.2f\n",
+			value(p.Value),
 			p.Summary.PerfDegradation*100,
 			p.Summary.EnergySavings*100,
 			p.Summary.EDPImprovement*100,

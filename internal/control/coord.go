@@ -1,0 +1,149 @@
+package control
+
+import (
+	"fmt"
+
+	"mcd/internal/clock"
+	"mcd/internal/pipeline"
+	"mcd/internal/resultcache"
+)
+
+// Coord is a coordinated cross-domain budget controller in the spirit
+// of SysScale's multi-domain DVFS (Haj-Yahya et al.; PAPERS.md):
+// instead of each domain adapting independently, one global controller
+// maintains a single slack budget — the total frequency (MHz) currently
+// removed from the chip — and redistributes it across the controlled
+// domains every interval according to where the decoupling queues say
+// the work is not.
+//
+// The budget itself is governed by the global IPC signal, exactly the
+// guard hardware Attack/Decay uses: while smoothed IPC stays within
+// perfdeg of the reference (best recent) IPC, the budget grows by
+// step_mhz per interval, up to budget_mhz; when performance sags below
+// the guard, the budget contracts restore× faster than it grew, giving
+// frequency back to every domain at once. Within the budget, each
+// domain's share is proportional to 1/(1+occupancy): the emptier a
+// domain's queue, the more of the chip-wide slack it absorbs — so slack
+// migrates between domains as program phases move work around, which no
+// per-domain controller can do.
+type Coord struct {
+	stepMHz, restore, budgetMax, perfDeg float64
+	feMHz, minMHz, maxMHz                float64
+
+	budget  float64
+	refIPC  float64
+	ipcEMA  float64
+	haveIPC bool
+}
+
+var _ pipeline.Controller = (*Coord)(nil)
+
+// coordRefDecay and coordSmoothing fix the IPC-guard filter constants
+// to the same effective values Attack/Decay uses by default.
+const (
+	coordRefDecay  = 0.01
+	coordSmoothing = 0.25
+)
+
+// coordSchema declares the registry parameters of the Coord controller.
+func coordSchema() Schema {
+	return Schema{
+		{Name: "step_mhz", Default: 25, Min: 1, Max: 200,
+			Doc: "budget growth per interval while the IPC guard holds"},
+		{Name: "restore", Default: 4, Min: 1, Max: 20,
+			Doc: "budget contraction speed (multiples of step_mhz) when the guard trips"},
+		{Name: "budget_mhz", Default: 1500, Min: 0, Max: 2250,
+			Doc: "cap on total frequency removed across all controlled domains"},
+		{Name: "perfdeg", Default: 0.025, Min: 0, Max: 0.12,
+			Doc: "performance degradation target for the IPC guard"},
+		{Name: "fe_mhz", Default: 1000, Min: 250, Max: 1000,
+			Doc: "pinned front-end frequency"},
+		{Name: "min_mhz", Default: 250, Min: 250, Max: 1000,
+			Doc: "lower frequency bound"},
+		{Name: "max_mhz", Default: 1000, Min: 250, Max: 1000,
+			Doc: "upper frequency bound"},
+	}
+}
+
+// NewCoord builds the controller from resolved registry parameters; the
+// budget starts at zero, i.e. every domain at maximum frequency.
+func NewCoord(p Params) *Coord {
+	return &Coord{
+		stepMHz: p["step_mhz"], restore: p["restore"], budgetMax: p["budget_mhz"],
+		perfDeg: p["perfdeg"],
+		feMHz:   p["fe_mhz"], minMHz: p["min_mhz"], maxMHz: p["max_mhz"],
+	}
+}
+
+// Name implements pipeline.Controller.
+func (c *Coord) Name() string { return "coord" }
+
+// CacheKey implements resultcache.Keyer.
+func (c *Coord) CacheKey() string {
+	h := resultcache.Float
+	return fmt.Sprintf("coord|step=%s|restore=%s|budget=%s|perfdeg=%s|fe=%s|min=%s|max=%s",
+		h(c.stepMHz), h(c.restore), h(c.budgetMax), h(c.perfDeg), h(c.feMHz), h(c.minMHz), h(c.maxMHz))
+}
+
+// Observe implements pipeline.Controller: update the global budget from
+// the IPC guard, then split it across domains by inverse occupancy.
+func (c *Coord) Observe(iv pipeline.IntervalView) [clock.NumControllable]float64 {
+	var targets [clock.NumControllable]float64
+	targets[clock.FrontEnd] = c.feMHz
+
+	if !c.haveIPC {
+		c.ipcEMA = iv.IPC
+		c.refIPC = iv.IPC
+		c.haveIPC = true
+	} else {
+		c.ipcEMA += coordSmoothing * (iv.IPC - c.ipcEMA)
+		c.refIPC *= 1 - coordRefDecay
+		if c.ipcEMA > c.refIPC {
+			c.refIPC = c.ipcEMA
+		}
+	}
+	ipcOK := true
+	if c.ipcEMA > 0 {
+		ipcOK = c.refIPC/c.ipcEMA-1 <= c.perfDeg
+	}
+
+	if ipcOK {
+		c.budget += c.stepMHz
+		if c.budget > c.budgetMax {
+			c.budget = c.budgetMax
+		}
+	} else {
+		c.budget -= c.restore * c.stepMHz
+		if c.budget < 0 {
+			c.budget = 0
+		}
+	}
+
+	controlled := []clock.Domain{clock.Integer, clock.FloatingPoint, clock.LoadStore}
+	var wsum float64
+	var w [clock.NumControllable]float64
+	for _, d := range controlled {
+		w[d] = 1 / (1 + iv.QueueAvg[d])
+		wsum += w[d]
+	}
+	span := c.maxMHz - c.minMHz
+	for _, d := range controlled {
+		cut := c.budget * w[d] / wsum
+		if cut > span {
+			cut = span
+		}
+		targets[d] = c.maxMHz - cut
+	}
+	return targets
+}
+
+func init() {
+	Register(Definition{
+		Name:   "coord",
+		Doc:    "coordinated cross-domain slack budget, redistributed by queue occupancy each interval (SysScale-style)",
+		Schema: coordSchema(),
+		New: func(p Params) (pipeline.Controller, error) {
+			return NewCoord(p), nil
+		},
+	})
+}

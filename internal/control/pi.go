@@ -1,0 +1,137 @@
+package control
+
+import (
+	"fmt"
+
+	"mcd/internal/clock"
+	"mcd/internal/pipeline"
+	"mcd/internal/resultcache"
+)
+
+// PI is a per-domain proportional–integral feedback controller on
+// decoupling-queue occupancy, in the spirit of control-theoretic DVS
+// (Xia et al., "Control-theoretic dynamic voltage scaling for embedded
+// controllers"; PAPERS.md). Each controlled domain closes its own loop:
+// the plant input is the domain frequency, the measured output is the
+// mean issue-queue occupancy, and the reference is a fixed occupancy
+// setpoint — a queue holding more than the setpoint means the domain is
+// too slow for the incoming rate, less means cycles (and therefore
+// voltage) are being wasted.
+//
+// The integral term is conditionally integrated (classic anti-windup):
+// while the commanded frequency is saturated at a bound and the error
+// would push it further out, the accumulator holds, so the loop
+// recovers from long saturated phases without the overshoot an unwound
+// integrator would cause. The accumulator is additionally clamped to
+// ±windup.
+//
+// Compared to Attack/Decay, PI reacts proportionally to how far the
+// queue is from where it should be rather than to the sign of its
+// change, trading the paper's IPC guard for a steady-state setpoint.
+type PI struct {
+	set, kp, ki, windup   float64
+	feMHz, minMHz, maxMHz float64
+
+	domains [clock.NumControllable]piDomain
+}
+
+type piDomain struct {
+	freqMHz  float64
+	integral float64
+}
+
+var _ pipeline.Controller = (*PI)(nil)
+
+// piSchema declares the registry parameters of the PI controller.
+func piSchema() Schema {
+	return Schema{
+		{Name: "setpoint", Default: 4, Min: 0.5, Max: 16,
+			Doc: "target mean queue occupancy (entries)"},
+		{Name: "kp", Default: 0.05, Min: 0, Max: 0.5,
+			Doc: "proportional gain (relative frequency change per entry of error)"},
+		{Name: "ki", Default: 0.01, Min: 0, Max: 0.2,
+			Doc: "integral gain (relative frequency change per accumulated entry)"},
+		{Name: "windup", Default: 10, Min: 1, Max: 100,
+			Doc: "anti-windup clamp on the integral accumulator (entries)"},
+		{Name: "fe_mhz", Default: 1000, Min: 250, Max: 1000,
+			Doc: "pinned front-end frequency"},
+		{Name: "min_mhz", Default: 250, Min: 250, Max: 1000,
+			Doc: "lower frequency bound"},
+		{Name: "max_mhz", Default: 1000, Min: 250, Max: 1000,
+			Doc: "upper frequency bound"},
+	}
+}
+
+// NewPI builds the controller from resolved registry parameters; every
+// domain starts at the maximum frequency, like Attack/Decay.
+func NewPI(p Params) *PI {
+	c := &PI{
+		set: p["setpoint"], kp: p["kp"], ki: p["ki"], windup: p["windup"],
+		feMHz: p["fe_mhz"], minMHz: p["min_mhz"], maxMHz: p["max_mhz"],
+	}
+	for d := range c.domains {
+		c.domains[d].freqMHz = c.maxMHz
+	}
+	return c
+}
+
+// Name implements pipeline.Controller.
+func (c *PI) Name() string { return "pi" }
+
+// CacheKey implements resultcache.Keyer: the canonical encoding of the
+// construction parameters, so PI runs are content-addressable.
+func (c *PI) CacheKey() string {
+	h := resultcache.Float
+	return fmt.Sprintf("pi|set=%s|kp=%s|ki=%s|windup=%s|fe=%s|min=%s|max=%s",
+		h(c.set), h(c.kp), h(c.ki), h(c.windup), h(c.feMHz), h(c.minMHz), h(c.maxMHz))
+}
+
+// Observe implements pipeline.Controller: one PI update per controlled
+// domain per interval.
+func (c *PI) Observe(iv pipeline.IntervalView) [clock.NumControllable]float64 {
+	var targets [clock.NumControllable]float64
+	targets[clock.FrontEnd] = c.feMHz
+
+	for _, d := range []clock.Domain{clock.Integer, clock.FloatingPoint, clock.LoadStore} {
+		st := &c.domains[d]
+		e := iv.QueueAvg[d] - c.set
+
+		u := c.kp*e + c.ki*st.integral
+		raw := st.freqMHz * (1 + u)
+		next := raw
+		if next < c.minMHz {
+			next = c.minMHz
+		}
+		if next > c.maxMHz {
+			next = c.maxMHz
+		}
+
+		// Conditional integration: hold the accumulator while the raw
+		// command is saturated and the error points further outward.
+		saturated := (raw > c.maxMHz && e > 0) || (raw < c.minMHz && e < 0)
+		if !saturated {
+			st.integral += e
+			if st.integral > c.windup {
+				st.integral = c.windup
+			}
+			if st.integral < -c.windup {
+				st.integral = -c.windup
+			}
+		}
+
+		st.freqMHz = next
+		targets[d] = next
+	}
+	return targets
+}
+
+func init() {
+	Register(Definition{
+		Name:   "pi",
+		Doc:    "per-domain PI feedback on queue occupancy with anti-windup (control-theoretic DVS)",
+		Schema: piSchema(),
+		New: func(p Params) (pipeline.Controller, error) {
+			return NewPI(p), nil
+		},
+	})
+}

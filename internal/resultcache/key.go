@@ -33,7 +33,14 @@ import (
 // test (TestKeyCoversEveryField) counts the fields of each struct and
 // fails when one is added without updating the encoder and this
 // version. See DESIGN.md, "Serving layer".
-const specKeyVersion = "mcd-spec-v1"
+//
+// v2: the controller registry (internal/control) made controller
+// selection and parameters part of the addressed request surface —
+// controller key material is now the registry's canonical parameter
+// encoding (schema order, resolved defaults) rather than ad-hoc
+// per-call construction, so v1 entries written by pre-registry binaries
+// must never satisfy registry-era requests.
+const specKeyVersion = "mcd-spec-v2"
 
 // ErrUncacheable reports a spec whose controller cannot be canonically
 // encoded: caching it would require proving two opaque controller

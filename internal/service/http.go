@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"mcd/internal/control"
 	"mcd/internal/wire"
 )
 
@@ -13,6 +14,7 @@ import (
 //
 //	POST   /v1/runs          one run ({"async":true} to queue) or {"runs":[...]} batch
 //	POST   /v1/experiments   {"name":"table6"|...,"quick":true,...} — always a job
+//	GET    /v1/controllers   the controller registry: names, docs, parameter schemas
 //	GET    /v1/jobs          job list, newest first
 //	GET    /v1/jobs/{id}     job snapshot
 //	GET    /v1/jobs/{id}/events   NDJSON progress stream until terminal
@@ -28,6 +30,13 @@ func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) { handleRuns(m, w, r) })
 	mux.HandleFunc("POST /v1/experiments", func(w http.ResponseWriter, r *http.Request) { handleExperiments(m, w, r) })
+	mux.HandleFunc("GET /v1/controllers", func(w http.ResponseWriter, r *http.Request) {
+		// The registry self-describes: this is the same set request
+		// validation accepts, so a client can discover every runnable
+		// controller and its parameter schema without a round trip per
+		// guess.
+		writeJSON(w, http.StatusOK, map[string]any{"controllers": control.Describe()})
+	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"jobs": m.Jobs()})
 	})

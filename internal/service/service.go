@@ -251,7 +251,7 @@ func (m *Manager) SubmitRun(r wire.RunRequest) (*Job, error) {
 		}
 		j.update(func(j *Job) {
 			j.done = 1
-			j.task = r.Normalize().Benchmark + "/" + r.Normalize().Config
+			j.task = r.Normalize().Benchmark + "/" + r.ControllerName()
 			j.hit = hit
 		})
 		return body, nil
@@ -283,7 +283,7 @@ func (m *Manager) SubmitBatch(reqs []wire.RunRequest) (*Job, error) {
 			i, r := i, r
 			n := r.Normalize()
 			batch[i] = mcd.RunRequest{
-				Name: fmt.Sprintf("%s/%s", n.Benchmark, n.Config),
+				Name: fmt.Sprintf("%s/%s", n.Benchmark, r.ControllerName()),
 				Do: func(context.Context) (mcd.Result, error) {
 					b, _, err := r.RunCachedBytes(m.opts.Cache)
 					bodies[i] = b
@@ -330,7 +330,7 @@ func (m *Manager) SubmitExperiment(e wire.ExperimentRequest) (*Job, error) {
 		opts.Progress = func(done, total int, name string) {
 			j.update(func(j *Job) { j.done, j.total, j.task = done, total, name })
 		}
-		res, err := wire.RunExperiment(opts, e.Name)
+		res, err := wire.RunExperimentRequest(opts, e)
 		if err != nil {
 			return nil, err
 		}

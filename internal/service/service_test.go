@@ -261,6 +261,86 @@ func TestExperimentJob(t *testing.T) {
 	}
 }
 
+// TestControllersEndpoint checks the registry self-description: every
+// name request validation accepts is advertised, with parameter schemas
+// on the parameterized entries.
+func TestControllersEndpoint(t *testing.T) {
+	_, srv := newServer(t, service.Options{})
+	resp, err := http.Get(srv.URL + "/v1/controllers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body struct {
+		Controllers []struct {
+			Name     string `json:"name"`
+			AliasFor string `json:"alias_for"`
+			Params   []struct {
+				Name    string  `json:"name"`
+				Default float64 `json:"default"`
+			} `json:"params"`
+		} `json:"controllers"`
+	}
+	if err := json.Unmarshal(readBody(t, resp), &body); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	for i, c := range body.Controllers {
+		byName[c.Name] = i
+	}
+	for _, want := range wire.Controllers() {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("accepted controller %q not advertised", want)
+		}
+	}
+	if i, ok := byName["pi"]; !ok || len(body.Controllers[i].Params) == 0 {
+		t.Error("pi advertised without a parameter schema")
+	}
+	if i, ok := byName["dynamic-1"]; !ok || body.Controllers[i].AliasFor != "dynamic" {
+		t.Error("dynamic-1 not advertised as an alias of dynamic")
+	}
+}
+
+// TestNewControllersRunByName: pi and coord are runnable end-to-end
+// through a plain POST /v1/runs body, and the repeat request is a
+// byte-identical cache hit — the acceptance path for registry-added
+// controllers.
+func TestNewControllersRunByName(t *testing.T) {
+	_, srv := newServer(t, service.Options{})
+	for _, req := range []wire.RunRequest{
+		{Benchmark: "adpcm", Controller: "pi", Window: 8_000, Warmup: wire.U64(4_000), Interval: wire.U64(250)},
+		{Benchmark: "adpcm", Controller: "coord", Params: map[string]float64{"step_mhz": 50},
+			Window: 8_000, Warmup: wire.U64(4_000), Interval: wire.U64(250)},
+	} {
+		r1 := postJSON(t, srv.URL+"/v1/runs", req)
+		if r1.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", req.Controller, r1.StatusCode, readBody(t, r1))
+		}
+		if got := r1.Header.Get("X-Cache"); got != "miss" {
+			t.Fatalf("%s: first X-Cache = %q, want miss", req.Controller, got)
+		}
+		b1 := readBody(t, r1)
+		var res struct{ Config string }
+		if err := json.Unmarshal(b1, &res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Config != req.Controller {
+			t.Errorf("%s: result labeled %q", req.Controller, res.Config)
+		}
+
+		r2 := postJSON(t, srv.URL+"/v1/runs", req)
+		b2 := readBody(t, r2)
+		if got := r2.Header.Get("X-Cache"); got != "hit" {
+			t.Fatalf("%s: repeat X-Cache = %q, want hit", req.Controller, got)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("%s: cache hit not byte-identical", req.Controller)
+		}
+	}
+}
+
 func TestJobNotFound(t *testing.T) {
 	_, srv := newServer(t, service.Options{})
 	resp, err := http.Get(srv.URL + "/v1/jobs/nope")

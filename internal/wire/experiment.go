@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"mcd/internal/bench"
+	"mcd/internal/control"
 	"mcd/internal/stats"
 	"mcd/internal/workload"
 )
@@ -21,12 +22,17 @@ const (
 	ExpSweepDecay     = "sweep-decay"
 	ExpSweepReaction  = "sweep-reaction"
 	ExpSweepDeviation = "sweep-deviation"
+	// ExpSweepController is the registry-generic sensitivity sweep: any
+	// registered controller, any numeric schema parameter (see
+	// ExperimentRequest.Controller/Param/Values).
+	ExpSweepController = "sweep-controller"
 )
 
 // Experiments returns the valid experiment names, sorted.
 func Experiments() []string {
 	e := []string{ExpTable6, ExpFig4, ExpHeadline, ExpAll,
-		ExpSweepTarget, ExpSweepDecay, ExpSweepReaction, ExpSweepDeviation}
+		ExpSweepTarget, ExpSweepDecay, ExpSweepReaction, ExpSweepDeviation,
+		ExpSweepController}
 	sort.Strings(e)
 	return e
 }
@@ -44,6 +50,17 @@ type ExperimentRequest struct {
 	// Benchmarks filters the catalog by name; empty means the scale's
 	// default set.
 	Benchmarks []string `json:"benchmarks,omitempty"`
+
+	// Values overrides the swept x-axis values of any sweep-*
+	// experiment; empty keeps the figure's published set, or — for
+	// sweep-controller — samples the parameter's documented range.
+	Values []float64 `json:"values,omitempty"`
+	// Controller and Param select the registered controller and the
+	// schema parameter a sweep-controller experiment sweeps, and Params
+	// fixes its remaining parameters. Ignored by the other experiments.
+	Controller string             `json:"controller,omitempty"`
+	Param      string             `json:"param,omitempty"`
+	Params     map[string]float64 `json:"params,omitempty"`
 }
 
 // Validate checks the experiment name and the benchmark filter — an
@@ -63,6 +80,22 @@ func (e ExperimentRequest) Validate() error {
 	for _, b := range e.Benchmarks {
 		if _, ok := workload.Lookup(b); !ok {
 			return fmt.Errorf("unknown benchmark %q (see mcdbench -exp table5 for the catalog)", b)
+		}
+	}
+	if e.Name == ExpSweepController {
+		if e.Controller == "" || e.Param == "" {
+			return fmt.Errorf("experiment %q needs controller and param", ExpSweepController)
+		}
+		// Resolving with the swept parameter included validates the
+		// controller name, the fixed overrides and the swept name against
+		// the registry (rejecting alias-pinned parameters) with the same
+		// error wording a run request would get.
+		probe := control.Params{e.Param: 0}
+		for k, v := range e.Params {
+			probe[k] = v
+		}
+		if _, err := control.Resolve(e.Controller, probe); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -159,42 +192,65 @@ func FromComparisons(name string, cs []bench.Comparison) ExperimentResult {
 
 // sweepSpec maps each sweep experiment to its runner and the exact
 // title/xlabel cmd/mcdsweep prints, so CLI and service output agree.
+// Each runner takes the request's explicit values (nil: the figure's
+// published set).
 var sweepSpec = map[string]struct {
 	title, xlabel string
-	run           func(bench.Options) []bench.SweepPoint
+	run           func(bench.Options, []float64) []bench.SweepPoint
 }{
 	ExpSweepTarget: {
 		"Figure 5: performance degradation target (1.000_06.0_1.250_X.X)", "target",
-		func(o bench.Options) []bench.SweepPoint { return o.SweepTarget(nil) },
+		func(o bench.Options, v []float64) []bench.SweepPoint { return o.SweepTarget(v) },
 	},
 	ExpSweepDecay: {
 		"Figures 6a/7a: Decay sensitivity (1.500_04.0_X.XXX_3.0)", "decay",
-		func(o bench.Options) []bench.SweepPoint { return o.SweepDecay(nil) },
+		func(o bench.Options, v []float64) []bench.SweepPoint { return o.SweepDecay(v) },
 	},
 	ExpSweepReaction: {
 		"Figures 6b/7b: ReactionChange sensitivity (1.500_XX.X_0.750_3.0)", "reaction",
-		func(o bench.Options) []bench.SweepPoint { return o.SweepReaction(nil) },
+		func(o bench.Options, v []float64) []bench.SweepPoint { return o.SweepReaction(v) },
 	},
 	ExpSweepDeviation: {
 		"Figures 6c/7c: DeviationThreshold sensitivity (X.XXX_06.0_0.175_2.5)", "deviation",
-		func(o bench.Options) []bench.SweepPoint { return o.SweepDeviation(nil) },
+		func(o bench.Options, v []float64) []bench.SweepPoint { return o.SweepDeviation(v) },
 	},
 }
 
 // RunExperiment executes a named experiment on the given harness
 // options. Grid experiments (table6/fig4/headline/all) run the Table 6
 // comparison matrix; sweep-* run the corresponding sensitivity sweep.
+// Experiments that carry request fields beyond the name
+// (sweep-controller) go through RunExperimentRequest.
 func RunExperiment(opts bench.Options, name string) (ExperimentResult, error) {
-	if err := (ExperimentRequest{Name: name}).Validate(); err != nil {
+	return RunExperimentRequest(opts, ExperimentRequest{Name: name})
+}
+
+// RunExperimentRequest executes an experiment request on the given
+// harness options — the one execution path shared by the CLIs and the
+// service, so both render byte-identical bodies.
+func RunExperimentRequest(opts bench.Options, e ExperimentRequest) (ExperimentResult, error) {
+	if err := e.Validate(); err != nil {
 		return ExperimentResult{}, err
 	}
-	if s, ok := sweepSpec[name]; ok {
-		pts := s.run(opts)
+	if e.Name == ExpSweepController {
+		pts, err := opts.SweepController(e.Controller, e.Param, e.Values, e.Params)
+		if err != nil {
+			return ExperimentResult{}, err
+		}
+		title := fmt.Sprintf("Sensitivity: controller %s, parameter %s", e.Controller, e.Param)
 		return ExperimentResult{
-			Experiment: name,
+			Experiment: e.Name,
+			Output:     bench.FormatControllerSweep(title, e.Param, pts),
+			Sweep:      pts,
+		}, nil
+	}
+	if s, ok := sweepSpec[e.Name]; ok {
+		pts := s.run(opts, e.Values)
+		return ExperimentResult{
+			Experiment: e.Name,
 			Output:     bench.FormatSweep(s.title, s.xlabel, pts),
 			Sweep:      pts,
 		}, nil
 	}
-	return FromComparisons(name, opts.RunAll()), nil
+	return FromComparisons(e.Name, opts.RunAll()), nil
 }

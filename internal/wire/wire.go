@@ -2,15 +2,17 @@
 // encodings shared by the command-line tools (-json flags) and the
 // mcdserve HTTP service, so a result printed by a CLI is byte-for-byte
 // the body the service would serve for the same request. Result bytes
-// themselves use the canonical encoding owned by internal/resultcache.
+// themselves use the canonical encoding owned by internal/resultcache;
+// controller names and parameters are owned by the registry in
+// internal/control — this package only carries them.
 package wire
 
 import (
 	"fmt"
-	"sort"
+	"strconv"
 	"strings"
 
-	"mcd/internal/core"
+	"mcd/internal/control"
 	"mcd/internal/pipeline"
 	"mcd/internal/resultcache"
 	"mcd/internal/sim"
@@ -18,8 +20,10 @@ import (
 	"mcd/internal/workload"
 )
 
-// Configuration names accepted by RunRequest.Config — the same set
-// cmd/mcdsim accepts.
+// Legacy configuration names. These remain registered (as definitions
+// or aliases) in internal/control, so requests written against the old
+// closed enum keep working byte-for-byte; the full valid set is
+// Controllers(), not these five.
 const (
 	ConfigSync        = "sync"
 	ConfigMCD         = "mcd"
@@ -28,20 +32,30 @@ const (
 	ConfigDynamic5    = "dynamic-5"
 )
 
-// Configs returns the valid configuration names, sorted.
-func Configs() []string {
-	c := []string{ConfigSync, ConfigMCD, ConfigAttackDecay, ConfigDynamic1, ConfigDynamic5}
-	sort.Strings(c)
-	return c
-}
+// Controllers returns every valid controller name, sorted — derived
+// from the registry, so the CLIs, this package's validation errors and
+// the service can never drift apart.
+func Controllers() []string { return control.Names() }
+
+// Configs is the legacy name for Controllers, kept so existing callers
+// keep compiling; the set now comes from the registry.
+func Configs() []string { return Controllers() }
 
 // RunRequest describes one simulation run: the JSON body of
 // POST /v1/runs and the programmatic form of cmd/mcdsim's flags.
 // Zero-valued fields take the mcdsim defaults.
 type RunRequest struct {
-	Benchmark string `json:"benchmark"`        // catalog name (default epic.decode)
-	Config    string `json:"config"`           // see Configs (default attack-decay)
-	Window    uint64 `json:"window,omitempty"` // measured instructions (default 400000; 0 would measure nothing)
+	Benchmark string `json:"benchmark"` // catalog name (default epic.decode)
+	// Controller selects a registered control algorithm by name (see
+	// GET /v1/controllers); Config is the legacy spelling of the same
+	// field. Setting both to different names is an error. Default
+	// attack-decay.
+	Controller string `json:"controller,omitempty"`
+	Config     string `json:"config,omitempty"`
+	// Params overrides the controller's schema defaults by name;
+	// unknown names are rejected with the schema's valid set.
+	Params map[string]float64 `json:"params,omitempty"`
+	Window uint64             `json:"window,omitempty"` // measured instructions (default 400000; 0 would measure nothing)
 	// Warmup, Interval and SlewNsPerMHz are pointers because their
 	// explicit zeros are meaningful configurations distinct from
 	// "unset": warmup 0 measures from a cold start, interval 0 selects
@@ -64,7 +78,7 @@ func (r RunRequest) Normalize() RunRequest {
 	if r.Benchmark == "" {
 		r.Benchmark = "epic.decode"
 	}
-	if r.Config == "" {
+	if r.Controller == "" && r.Config == "" {
 		r.Config = ConfigAttackDecay
 	}
 	if r.Window == 0 {
@@ -83,102 +97,83 @@ func (r RunRequest) Normalize() RunRequest {
 	return r
 }
 
-// Validate checks the benchmark and configuration names; its error
-// messages list the valid sets, making it the one source of truth for
-// CLI usage errors and HTTP 400 bodies.
+// ControllerName returns the effective controller name of the
+// (normalized) request, whichever field it was spelled in.
+func (r RunRequest) ControllerName() string {
+	r = r.Normalize()
+	if r.Controller != "" {
+		return r.Controller
+	}
+	return r.Config
+}
+
+// Validate checks the benchmark, controller and parameter names; its
+// error messages list the valid sets (sorted), making it the one source
+// of truth for CLI usage errors and HTTP 400 bodies.
 func (r RunRequest) Validate() error {
-	r = r.Normalize()
-	if _, ok := workload.Lookup(r.Benchmark); !ok {
-		return fmt.Errorf("unknown benchmark %q (see mcdbench -exp table5 for the catalog)", r.Benchmark)
-	}
-	if !knownConfig(r.Config) {
-		return fmt.Errorf("unknown config %q (valid: %s)", r.Config, strings.Join(Configs(), ", "))
-	}
-	return nil
+	_, _, err := r.controlRun()
+	return err
 }
 
-func knownConfig(name string) bool {
-	for _, c := range Configs() {
-		if c == name {
-			return true
-		}
-	}
-	return false
-}
-
-// spec builds the simulation spec the request describes. The returned
-// spec has no controller for the off-line configs (the controller is
-// the product of the schedule search Run performs).
-func (r RunRequest) spec() (sim.Spec, workload.Benchmark, error) {
+// controlRun is the request's single validation and resolution point:
+// it checks the benchmark, reconciles the two controller spellings,
+// resolves the registry once, and builds the controller-independent
+// run description. Validate, Spec, Key and RunCachedBytes all derive
+// from it, so validation semantics live in exactly one place and the
+// hot serving path resolves the registry once per request.
+func (r RunRequest) controlRun() (control.Run, control.Resolved, error) {
 	r = r.Normalize()
-	if err := r.Validate(); err != nil {
-		return sim.Spec{}, workload.Benchmark{}, err
+	b, ok := workload.Lookup(r.Benchmark)
+	if !ok {
+		return control.Run{}, control.Resolved{}, fmt.Errorf("unknown benchmark %q (see mcdbench -exp table5 for the catalog)", r.Benchmark)
 	}
-	b, _ := workload.Lookup(r.Benchmark)
+	if r.Controller != "" && r.Config != "" && r.Controller != r.Config {
+		return control.Run{}, control.Resolved{}, fmt.Errorf("controller %q and config %q disagree (set one; they are the same field)", r.Controller, r.Config)
+	}
+	res, err := control.Resolve(r.ControllerName(), control.Params(r.Params))
+	if err != nil {
+		return control.Run{}, control.Resolved{}, err
+	}
 	cfg := pipeline.DefaultConfig()
 	cfg.SlewNsPerMHz = *r.SlewNsPerMHz
-	if r.Config == ConfigSync {
-		return sim.SynchronousSpec(cfg, b.Profile, r.Window, *r.Warmup, cfg.MaxFreqMHz, ConfigSync), b, nil
-	}
-	spec := sim.Spec{
+	return control.Run{
 		Config:         cfg,
 		Profile:        b.Profile,
 		Window:         r.Window,
 		Warmup:         *r.Warmup,
 		IntervalLength: *r.Interval,
-		Name:           r.Config,
-	}
-	if r.Config == ConfigAttackDecay {
-		spec.Controller = core.NewAttackDecay(core.DefaultParams())
-	}
-	return spec, b, nil
+		Name:           r.ControllerName(),
+	}, res, nil
 }
 
-func (r RunRequest) offlineTarget() (float64, bool) {
-	switch r.Normalize().Config {
-	case ConfigDynamic1:
-		return 0.01, true
-	case ConfigDynamic5:
-		return 0.05, true
+// Spec builds the full simulation spec the request describes,
+// performing any compound preparation the controller definition needs
+// (an off-line schedule search). Use Key for content addressing — it
+// never pays for preparation.
+func (r RunRequest) Spec() (sim.Spec, error) {
+	run, res, err := r.controlRun()
+	if err != nil {
+		return sim.Spec{}, err
 	}
-	return 0, false
-}
-
-// offlineOpts is the search configuration an off-line request runs
-// with; both Run and Key derive from it, and core.OfflineOptions.
-// CacheExtra owns the canonical encoding of its resolved defaults.
-func offlineOpts(spec sim.Spec, target float64) core.OfflineOptions {
-	return core.OfflineOptions{
-		TargetDeg:      target,
-		Warmup:         spec.Warmup,
-		IntervalLength: spec.IntervalLength,
-	}
+	return res.Spec(run)
 }
 
 // Key returns the request's content address in the result store.
 func (r RunRequest) Key() (string, error) {
-	spec, _, err := r.spec()
+	run, res, err := r.controlRun()
 	if err != nil {
 		return "", err
 	}
-	if target, ok := r.offlineTarget(); ok {
-		return resultcache.SpecKeyExtra(spec, offlineOpts(spec, target).CacheExtra())
-	}
-	return resultcache.SpecKey(spec)
+	return res.Key(run)
 }
 
 // Run executes the request. It is a pure function of the request —
 // exactly what cmd/mcdsim computes for the same flags — which is what
 // makes the result cacheable under the request's Key.
 func (r RunRequest) Run() (stats.Result, error) {
-	spec, _, err := r.spec()
+	spec, err := r.Spec()
 	if err != nil {
 		return stats.Result{}, err
-	}
-	if target, ok := r.offlineTarget(); ok {
-		ctrl, _ := core.BuildOffline(spec.Config, spec.Profile, spec.Window, offlineOpts(spec, target))
-		spec.Controller = ctrl
-		spec.InitialFreqMHz = ctrl.Initial()
 	}
 	return sim.Run(spec), nil
 }
@@ -189,23 +184,52 @@ func (r RunRequest) Run() (stats.Result, error) {
 // an in-flight identical computation) rather than a fresh simulation.
 // A nil cache always computes.
 func (r RunRequest) RunCachedBytes(c *resultcache.Cache) (body []byte, hit bool, err error) {
-	if err := r.Validate(); err != nil {
+	run, res, err := r.controlRun()
+	if err != nil {
 		return nil, false, err
 	}
 	compute := func() ([]byte, error) {
-		rr, err := r.Run()
+		spec, err := res.Spec(run)
 		if err != nil {
 			return nil, err
 		}
-		return resultcache.EncodeResult(rr)
+		return resultcache.EncodeResult(sim.Run(spec))
 	}
 	if c == nil {
 		body, err = compute()
 		return body, false, err
 	}
-	key, err := r.Key()
+	key, err := res.Key(run)
 	if err != nil {
 		return nil, false, err
 	}
 	return c.DoBytes(key, compute)
+}
+
+// ParseParams parses the CLI spelling of controller parameters —
+// "name=value" pairs separated by commas, e.g. "kp=0.08,setpoint=3" —
+// into the map the JSON "params" field carries. An empty string is a
+// nil map.
+func ParseParams(s string) (map[string]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad parameter %q (want name=value)", pair)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value for parameter %q: %v", name, err)
+		}
+		out[name] = v
+	}
+	return out, nil
 }

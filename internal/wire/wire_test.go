@@ -1,9 +1,136 @@
 package wire
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
+
+// TestEveryControllerRoundTrips is the registry contract at the wire
+// layer: for every registered controller (legacy names, aliases, pi,
+// coord, ...), a request round-tripped through its JSON encoding
+// resolves to the same Spec surface and the same deterministic SpecKey;
+// no two controllers share a key; and both request spellings
+// ("controller" and legacy "config") address the same computation.
+func TestEveryControllerRoundTrips(t *testing.T) {
+	seen := map[string]string{}
+	for _, name := range Controllers() {
+		req := RunRequest{
+			Benchmark:  "adpcm",
+			Controller: name,
+			Window:     8_000,
+			Warmup:     U64(4_000),
+			Interval:   U64(500),
+		}
+		if err := req.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+
+		b, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var back RunRequest
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+
+		k1, err := req.Key()
+		if err != nil {
+			t.Fatalf("%s: Key: %v", name, err)
+		}
+		k2, err := back.Key()
+		if err != nil {
+			t.Fatalf("%s: round-tripped Key: %v", name, err)
+		}
+		k3, _ := back.Key()
+		if k1 != k2 || k2 != k3 {
+			t.Errorf("%s: key not deterministic across the JSON round trip: %s %s %s", name, k1, k2, k3)
+		}
+		if prev, dup := seen[k1]; dup {
+			t.Errorf("controllers %s and %s share key %s", prev, name, k1)
+		}
+		seen[k1] = name
+
+		// The legacy "config" spelling is the same field.
+		legacy := req
+		legacy.Controller, legacy.Config = "", name
+		kl, err := legacy.Key()
+		if err != nil {
+			t.Fatalf("%s: legacy-spelled Key: %v", name, err)
+		}
+		if kl != k1 {
+			t.Errorf("%s: config and controller spellings key differently", name)
+		}
+	}
+}
+
+// Unknown controller names are rejected with the sorted valid set; a
+// request that spells the controller twice inconsistently is rejected;
+// parameter overrides are validated against the schema and move the key.
+func TestControllerFieldValidation(t *testing.T) {
+	err := RunRequest{Benchmark: "adpcm", Controller: "bogus"}.Validate()
+	if err == nil {
+		t.Fatal("unknown controller accepted")
+	}
+	idx := -1
+	for _, n := range Controllers() {
+		i := strings.Index(err.Error(), n)
+		if i < 0 {
+			t.Fatalf("error %q does not list %q", err, n)
+		}
+		if i < idx {
+			t.Fatalf("error %q does not list the valid set in sorted order", err)
+		}
+		idx = i
+	}
+
+	if err := (RunRequest{Controller: "pi", Config: "coord"}).Validate(); err == nil {
+		t.Fatal("conflicting controller/config accepted")
+	}
+
+	if err := (RunRequest{Controller: "pi", Params: map[string]float64{"nope": 1}}).Validate(); err == nil {
+		t.Fatal("unknown parameter accepted")
+	}
+
+	base := RunRequest{Controller: "pi", Window: 8000, Warmup: U64(4000)}
+	tuned := base
+	tuned.Params = map[string]float64{"kp": 0.125}
+	kb, err := base.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kt, err := tuned.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kb == kt {
+		t.Error("params override did not change the content address")
+	}
+}
+
+// The experiment layer validates sweep-controller requests through the
+// registry too.
+func TestSweepControllerValidation(t *testing.T) {
+	if err := (ExperimentRequest{Name: ExpSweepController}).Validate(); err == nil {
+		t.Fatal("sweep-controller without controller/param accepted")
+	}
+	if err := (ExperimentRequest{Name: ExpSweepController, Controller: "bogus", Param: "kp"}).Validate(); err == nil {
+		t.Fatal("unknown controller accepted")
+	}
+	if err := (ExperimentRequest{Name: ExpSweepController, Controller: "pi", Param: "nope"}).Validate(); err == nil {
+		t.Fatal("unknown swept parameter accepted")
+	}
+	if err := (ExperimentRequest{Name: ExpSweepController, Controller: "dynamic-1", Param: "target"}).Validate(); err == nil {
+		t.Fatal("sweeping an alias-pinned parameter accepted")
+	}
+	if err := (ExperimentRequest{
+		Name: ExpSweepController, Controller: "coord", Param: "budget_mhz",
+		Params: map[string]float64{"step_mhz": 50},
+	}).Validate(); err != nil {
+		t.Fatalf("valid sweep-controller request rejected: %v", err)
+	}
+}
 
 func TestValidateListsValidSets(t *testing.T) {
 	err := RunRequest{Benchmark: "adpcm", Config: "bogus"}.Validate()

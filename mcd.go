@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"mcd/internal/clock"
+	"mcd/internal/control"
 	"mcd/internal/core"
 	"mcd/internal/pipeline"
 	"mcd/internal/resultcache"
@@ -199,6 +200,68 @@ func Synchronous(cfg Config) Config { return sim.Synchronous(cfg) }
 // frequency — conventional global voltage/frequency scaling.
 func RunSynchronousAt(cfg Config, prof Profile, window, warmup uint64, freqMHz float64, name string) Result {
 	return sim.RunSynchronousAt(cfg, prof, window, warmup, freqMHz, name)
+}
+
+// Controller registry types: every control algorithm is a named,
+// parameterized factory in a process-wide registry (internal/control).
+// The registered set is what cmd/mcdsim's -config flag, cmd/mcdsweep's
+// -controller flag, the wire "controller" field and GET /v1/controllers
+// all accept — registering a controller makes it runnable everywhere at
+// once (see examples/customcontroller).
+type (
+	// ControllerDef is one registry entry: name, doc, parameter schema
+	// and factory.
+	ControllerDef = control.Definition
+	// ControllerParams maps parameter names to numeric values.
+	ControllerParams = control.Params
+	// ControllerField describes one numeric parameter of a schema.
+	ControllerField = control.Field
+	// ControllerSchema is an ordered parameter list.
+	ControllerSchema = control.Schema
+	// ControllerRun is the controller-independent description of a run a
+	// registered definition turns into a Spec.
+	ControllerRun = control.Run
+	// ControllerInfo is one entry of the registry's self-description.
+	ControllerInfo = control.Info
+)
+
+// RegisterController adds a controller definition to the registry; it
+// panics on duplicate or malformed definitions (call it at init time).
+func RegisterController(d ControllerDef) { control.Register(d) }
+
+// RegisterControllerAlias registers name as an alias of an existing
+// definition with the given parameters pinned.
+func RegisterControllerAlias(name, target string, pinned ControllerParams) {
+	control.Alias(name, target, pinned)
+}
+
+// Controllers returns the registry's self-description, sorted by name.
+func Controllers() []ControllerInfo { return control.Describe() }
+
+// ControllerNames returns every registered controller name, sorted.
+func ControllerNames() []string { return control.Names() }
+
+// ControllerSpec resolves a registered controller by name (parameters
+// overlaid on its schema defaults) and builds the Spec that runs it,
+// performing any compound preparation the definition needs (for the
+// off-line "dynamic" controllers, the schedule search).
+func ControllerSpec(name string, p ControllerParams, run ControllerRun) (Spec, error) {
+	res, err := control.Resolve(name, p)
+	if err != nil {
+		return Spec{}, err
+	}
+	return res.Spec(run)
+}
+
+// ControllerKey resolves a registered controller like ControllerSpec
+// and returns the run's content address in the result store, without
+// paying for compound preparation.
+func ControllerKey(name string, p ControllerParams, run ControllerRun) (string, error) {
+	res, err := control.Resolve(name, p)
+	if err != nil {
+		return "", err
+	}
+	return res.Key(run)
 }
 
 // Params are the Attack/Decay configuration parameters (Table 2).
