@@ -15,6 +15,7 @@
 //	curl localhost:8080/v1/controllers                # the controller registry
 //	curl -d '{"benchmark":"mcf","config":"attack-decay","window":40000,"warmup":20000}' localhost:8080/v1/runs
 //	curl -d '{"benchmark":"mcf","controller":"pi","params":{"kp":0.08},"window":40000}' localhost:8080/v1/runs
+//	curl -N -d '{"stream":true,"benchmark":"mcf","window":40000}' localhost:8080/v1/runs   # live NDJSON interval frames
 //	curl -d '{"name":"table6","quick":true}' localhost:8080/v1/experiments
 //	curl -d '{"name":"sweep-controller","controller":"coord","param":"budget_mhz","quick":true}' localhost:8080/v1/experiments
 //	curl localhost:8080/v1/jobs/j000001/events        # NDJSON progress

@@ -6,6 +6,8 @@
 //	mcdsim -bench mcf -config attack-decay -window 400000 -warmup 200000
 //	mcdsim -bench mcf -config pi -params kp=0.08,setpoint=3
 //	mcdsim -bench mcf -json          # canonical JSON, as served by mcdserve
+//	mcdsim -bench mcf -live          # per-interval telemetry as it is produced
+//	mcdsim -bench mcf -live -json    # the mcdserve stream body: NDJSON frames
 //
 // The -config set is the controller registry (internal/control): the
 // paper's five configurations (sync, mcd, attack-decay, dynamic-1,
@@ -15,6 +17,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +42,7 @@ func main() {
 		interval = flag.Uint64("interval", 1000, "controller sampling interval (instructions)")
 		slew     = flag.Float64("slew", 4.91, "regulator slew in ns/MHz (paper scale: 49.1)")
 		jsonOut  = flag.Bool("json", false, "emit the canonical machine-readable result encoding")
+		live     = flag.Bool("live", false, "print each control interval as it is produced (with -json: NDJSON stream frames)")
 	)
 	flag.Parse()
 
@@ -69,10 +74,42 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := req.Run()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "mcdsim: %v\n", err)
-		os.Exit(1)
+	var res mcd.Result
+	if *live {
+		// The run is driven through a stepped session; every measured
+		// control interval is printed the moment it is produced. The
+		// result bytes are identical to a one-shot run by the session
+		// contract.
+		enc := json.NewEncoder(os.Stdout)
+		emit := func(iv mcd.Interval) {
+			if *jsonOut {
+				enc.Encode(wire.IntervalFrame(&iv))
+				return
+			}
+			fmt.Printf("interval %4d  ipc %6.3f  freq MHz fe=%.0f int=%.0f fp=%.0f ls=%.0f\n",
+				iv.Index, iv.IPC, iv.FreqMHz[mcd.FrontEnd], iv.FreqMHz[mcd.Integer],
+				iv.FreqMHz[mcd.FloatingPoint], iv.FreqMHz[mcd.LoadStore])
+		}
+		body, _, err := req.RunStream(context.Background(), nil, emit)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcdsim: %v\n", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			enc.Encode(wire.ResultFrame(body, false))
+			return
+		}
+		if res, err = resultcache.DecodeResult(body); err != nil {
+			fmt.Fprintf(os.Stderr, "mcdsim: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		var err error
+		res, err = req.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcdsim: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	if *jsonOut {

@@ -10,6 +10,13 @@
 //	mcdtrace -bench epic.decode -domain fp   # Figure 3
 //	mcdtrace -bench epic.decode -domain ls   # Figure 2
 //	mcdtrace -bench epic,mcf,gzip -domain int -workers 4
+//	mcdtrace -bench epic.decode -domain fp -follow   # rows stream live
+//
+// With -follow the run is driven through a stepped simulation session
+// and each CSV row is printed as its control interval is produced
+// (benchmarks run sequentially); the rows are byte-identical to the
+// post-hoc output, and a warm -cache directory replays the stored trace
+// instead of simulating.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 
 	"mcd/internal/bench"
 	"mcd/internal/clock"
+	"mcd/internal/stats"
 )
 
 func main() {
@@ -31,6 +39,7 @@ func main() {
 		interval   = flag.Uint64("interval", 1000, "sampling interval (instructions)")
 		workers    = flag.Int("workers", runtime.NumCPU(), "parallel simulation workers")
 		cacheDir   = flag.String("cache", "", "result-store directory: completed traces are reused across invocations")
+		follow     = flag.Bool("follow", false, "print trace rows as intervals are produced (benchmarks run sequentially)")
 	)
 	flag.Parse()
 
@@ -61,6 +70,29 @@ func main() {
 	if len(names) == 0 {
 		names = []string{"epic.decode"}
 	}
+
+	if *follow {
+		for _, name := range names {
+			if len(names) > 1 {
+				fmt.Printf("# benchmark %s\n", name)
+			}
+			fmt.Print(bench.FigureCSVHeader())
+			prev, row := 0.0, 0
+			res, err := opts.FollowTrace(name, func(iv stats.Interval) {
+				fmt.Print(bench.FigureCSVRow(row, iv, prev, d))
+				prev = iv.QueueUtil[d]
+				row++
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mcdtrace: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "mcdtrace: %s, %d intervals, avg %s freq %.0f MHz\n",
+				name, len(res.Intervals), *domain, res.AvgFreqMHz[d])
+		}
+		return
+	}
+
 	results, err := opts.TraceMany(names)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcdtrace: %v\n", err)

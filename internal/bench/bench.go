@@ -16,7 +16,7 @@ import (
 	"strings"
 	"sync"
 
-	"mcd/internal/clock"
+	"mcd/internal/control"
 	"mcd/internal/core"
 	"mcd/internal/pipeline"
 	"mcd/internal/resultcache"
@@ -141,23 +141,6 @@ type Comparison struct {
 	GlobalD5 stats.Result
 }
 
-func (o Options) spec(b workload.Benchmark, ctrl pipeline.Controller, init [clock.NumControllable]float64, name string) sim.Spec {
-	return sim.Spec{
-		Config:         o.config(),
-		Profile:        b.Profile,
-		Window:         o.Window,
-		Warmup:         o.Warmup,
-		IntervalLength: o.IntervalLength,
-		Controller:     ctrl,
-		InitialFreqMHz: init,
-		Name:           name,
-	}
-}
-
-func (o Options) run(b workload.Benchmark, ctrl pipeline.Controller, init [clock.NumControllable]float64, name string) stats.Result {
-	return sim.Run(o.spec(b, ctrl, init, name))
-}
-
 // AttachCache wires a disk-backed result store into the options — the
 // CLIs' -cache flag. An empty dir is a no-op.
 func (o *Options) AttachCache(dir string) error {
@@ -179,28 +162,33 @@ func (o Options) task(name string, spec sim.Spec) runner.Task[stats.Result] {
 	return resultcache.Task(o.Cache, name, spec)
 }
 
-// compoundTask wraps a deterministic compound computation — an
-// off-line schedule search or a Global(·) bisection — keyed by a
-// controller-less spec plus the extra search parameters that determine
-// its outcome.
-func (o Options) compoundTask(name string, spec sim.Spec, extra string, run func() (stats.Result, error)) runner.Task[stats.Result] {
-	if o.Cache != nil {
-		if key, err := resultcache.SpecKeyExtra(spec, extra); err == nil {
-			return resultcache.TaskKeyed(o.Cache, name, key, run)
-		}
-	}
-	return runner.Task[stats.Result]{Name: name, Run: func(context.Context) (stats.Result, error) { return run() }}
-}
-
-// offlineOpts is the one place the harness configures the off-line
-// search; both the run and its content address derive from it.
-func (o Options) offlineOpts(target float64) core.OfflineOptions {
-	return core.OfflineOptions{
-		TargetDeg:      target,
-		Iterations:     o.OfflineIters,
+// controlRun is the controller-independent run description of one grid
+// cell — exactly what a service request for the same cell resolves, so
+// the two address spaces coincide.
+func (o Options) controlRun(b workload.Benchmark) control.Run {
+	return control.Run{
+		Config:         o.config(),
+		Profile:        b.Profile,
+		Window:         o.Window,
 		Warmup:         o.Warmup,
 		IntervalLength: o.IntervalLength,
 	}
+}
+
+// resolvedTask builds one grid-cell task through the controller
+// registry: the cell is addressed by the control.Resolve-derived
+// canonical key (like SweepController's cells and every service
+// request), so a -cache DIR shared between the harness CLIs and
+// mcdserve reuses equivalent cells instead of double-computing them. A
+// resolution error surfaces as the task's error.
+func (o Options) resolvedTask(label, name string, p control.Params, run control.Run) runner.Task[stats.Result] {
+	res, err := control.Resolve(name, p)
+	if err != nil {
+		return runner.Task[stats.Result]{Name: label, Run: func(context.Context) (stats.Result, error) {
+			return stats.Result{}, err
+		}}
+	}
+	return o.controlTask(label, res, run)
 }
 
 // mapTasks fans tasks out on the options' pool, logging progress and
@@ -256,40 +244,30 @@ const (
 
 // phase1Tasks builds the five independent runs of one benchmark's row:
 // fully synchronous, baseline MCD, Attack/Decay, and both off-line
-// schedules (each a compound BuildOffline + replay).
+// schedules (each a compound BuildOffline + replay). Every cell
+// resolves through the controller registry, so its content address (and
+// its Result's Config label) is the registry's.
 func (o Options) phase1Tasks(b workload.Benchmark) []runner.Task[stats.Result] {
-	cfg := o.config()
-	offline := func(pct string, target float64) runner.Task[stats.Result] {
-		return o.compoundTask(b.Name+"/dynamic-"+pct,
-			o.spec(b, nil, [clock.NumControllable]float64{}, "offline-search"),
-			o.offlineOpts(target).CacheExtra(),
-			func() (stats.Result, error) { return o.runOffline(b, target), nil })
-	}
+	run := o.controlRun(b)
+	iters := control.Params{"iters": float64(o.OfflineIters)}
 	return []runner.Task[stats.Result]{
-		cSync: o.task(b.Name+"/sync",
-			sim.SynchronousSpec(cfg, b.Profile, o.Window, o.Warmup, cfg.MaxFreqMHz, "sync")),
-		cBase: o.task(b.Name+"/mcd-base",
-			o.spec(b, nil, [clock.NumControllable]float64{}, "mcd-base")),
-		cAD: o.task(b.Name+"/attack-decay",
-			o.spec(b, core.NewAttackDecay(o.Params), [clock.NumControllable]float64{}, "attack-decay")),
-		cDyn1: offline("1%", 0.01),
-		cDyn5: offline("5%", 0.05),
+		cSync: o.resolvedTask(b.Name+"/sync", "sync", nil, run),
+		cBase: o.resolvedTask(b.Name+"/mcd-base", "mcd", nil, run),
+		cAD:   o.resolvedTask(b.Name+"/attack-decay", "attack-decay", control.FromAttackDecay(o.Params), run),
+		cDyn1: o.resolvedTask(b.Name+"/dynamic-1%", "dynamic-1", iters, run),
+		cDyn5: o.resolvedTask(b.Name+"/dynamic-5%", "dynamic-5", iters, run),
 	}
 }
 
 // globalTasks builds the three Global(·) searches of one row; they depend
-// on the phase-1 results, so they form the batch's second phase.
+// on the phase-1 results, so they form the batch's second phase. Each is
+// the registered "global" controller with the measured baseline time and
+// target degradation as parameters.
 func (o Options) globalTasks(c *Comparison) []runner.Task[stats.Result] {
-	cfg := o.config()
-	mk := func(name string, deg float64) runner.Task[stats.Result] {
-		base := c.Sync.TimePS
-		return o.compoundTask(c.Bench.Name+"/"+name,
-			sim.SynchronousSpec(cfg, c.Bench.Profile, o.Window, o.Warmup, cfg.MaxFreqMHz, name),
-			fmt.Sprintf("global|base=%s|deg=%s", resultcache.Float(base), resultcache.Float(deg)),
-			func() (stats.Result, error) {
-				_, r := core.GlobalMatch(cfg, c.Bench.Profile, o.Window, o.Warmup, base, deg, name)
-				return r, nil
-			})
+	run := o.controlRun(c.Bench)
+	mk := func(label string, deg float64) runner.Task[stats.Result] {
+		return o.resolvedTask(c.Bench.Name+"/"+label, "global",
+			control.Params{"deg": deg, "base_ps": c.Sync.TimePS}, run)
 	}
 	return []runner.Task[stats.Result]{
 		mk("global-ad", c.AD.TimePS/c.MCDBase.TimePS-1),
@@ -302,20 +280,6 @@ func (o Options) globalTasks(c *Comparison) []runner.Task[stats.Result] {
 // one benchmark.
 func (o Options) RunComparison(b workload.Benchmark) Comparison {
 	return o.runAllOn([]workload.Benchmark{b})[0]
-}
-
-func (o Options) runOffline(b workload.Benchmark, target float64) stats.Result {
-	ctrl, _ := core.BuildOffline(o.config(), b.Profile, o.Window, o.offlineOpts(target))
-	return sim.Run(sim.Spec{
-		Config:         o.config(),
-		Profile:        b.Profile,
-		Window:         o.Window,
-		Warmup:         o.Warmup,
-		IntervalLength: o.IntervalLength,
-		Controller:     ctrl,
-		InitialFreqMHz: ctrl.Initial(),
-		Name:           ctrl.Name(),
-	})
 }
 
 // RunAll runs the comparison matrix over the selected benchmarks.

@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"mcd/internal/clock"
 	"mcd/internal/resultcache"
+	"mcd/internal/stats"
 	"mcd/internal/workload"
 )
 
@@ -190,5 +192,59 @@ func TestCatalogFilter(t *testing.T) {
 	}
 	if got := len(QuickOptions().catalog()); got != 10 {
 		t.Errorf("quick catalog = %d, want 10", got)
+	}
+}
+
+// FollowTrace's contracts: cold, the observer sees exactly the recorded
+// intervals (so -follow rows are byte-identical to post-hoc FigureCSV
+// output); warm, the cache hit replays the stored records through the
+// observer with the same rows.
+func TestFollowTraceMatchesTrace(t *testing.T) {
+	o := tiny()
+	c, err := resultcache.New(resultcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Cache = c
+
+	rows := func(emitted []stats.Interval) string {
+		s := FigureCSVHeader()
+		prev := 0.0
+		for i, iv := range emitted {
+			s += FigureCSVRow(i, iv, prev, clock.FloatingPoint)
+			prev = iv.QueueUtil[clock.FloatingPoint]
+		}
+		return s
+	}
+
+	var cold []stats.Interval
+	res, err := o.FollowTrace("adpcm", func(iv stats.Interval) { cold = append(cold, iv) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold) == 0 || !reflect.DeepEqual(cold, res.Intervals) {
+		t.Fatalf("cold follow emitted %d intervals, result recorded %d", len(cold), len(res.Intervals))
+	}
+	if rows(cold) != FigureCSV(res, clock.FloatingPoint) {
+		t.Error("streamed rows differ from post-hoc FigureCSV")
+	}
+
+	var warm []stats.Interval
+	res2, err := o.FollowTrace("adpcm", func(iv stats.Interval) { warm = append(warm, iv) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, res2) {
+		t.Error("warm FollowTrace result differs from cold")
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Error("cache-hit replay emitted different intervals")
+	}
+	if c.Stats().Hits() == 0 {
+		t.Error("second FollowTrace did not hit the cache")
+	}
+
+	if _, err := o.FollowTrace("bogus", nil); err == nil {
+		t.Error("unknown benchmark accepted")
 	}
 }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"mcd/internal/clock"
 	"mcd/internal/control"
 	"mcd/internal/core"
 	"mcd/internal/resultcache"
@@ -23,12 +22,13 @@ type SweepPoint struct {
 }
 
 // baselines runs the per-benchmark baseline MCD cells every sweep
-// summarizes against, as one parallel batch in catalog order.
+// summarizes against, as one parallel batch in catalog order. The cells
+// are registry-resolved, so they share their content addresses with the
+// Table 6 grid and with service requests for the "mcd" controller.
 func (o Options) baselines(cat []workload.Benchmark) []stats.Result {
 	tasks := make([]runner.Task[stats.Result], len(cat))
 	for i, b := range cat {
-		tasks[i] = o.task(b.Name+"/mcd-base",
-			o.spec(b, nil, [clock.NumControllable]float64{}, "mcd-base"))
+		tasks[i] = o.resolvedTask(b.Name+"/mcd-base", "mcd", nil, o.controlRun(b))
 	}
 	return o.mapTasks(tasks)
 }
@@ -36,7 +36,10 @@ func (o Options) baselines(cat []workload.Benchmark) []stats.Result {
 // sweep runs Attack/Decay across the catalog once per parameter value.
 // The per-benchmark baselines form one parallel batch and the full
 // (value × benchmark) grid a second one; points are assembled in value
-// order, so the output is identical for any worker count.
+// order, so the output is identical for any worker count. Cells resolve
+// the registered "attack-decay" definition, so a sweep-controller
+// request over the same parameter values reuses them from a shared
+// cache.
 func (o Options) sweep(values []float64, apply func(*core.Params, float64)) []SweepPoint {
 	cat := o.catalog()
 	bases := o.baselines(cat)
@@ -45,10 +48,11 @@ func (o Options) sweep(values []float64, apply func(*core.Params, float64)) []Sw
 	for _, v := range values {
 		p := o.Params
 		apply(&p, v)
+		rp := control.FromAttackDecay(p)
 		for _, b := range cat {
-			grid = append(grid, o.task(
+			grid = append(grid, o.resolvedTask(
 				fmt.Sprintf("%s/ad@%g", b.Name, v),
-				o.spec(b, core.NewAttackDecay(p), [clock.NumControllable]float64{}, "ad-sweep")))
+				"attack-decay", rp, o.controlRun(b)))
 		}
 	}
 	runs := o.mapTasks(grid)

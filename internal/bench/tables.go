@@ -9,6 +9,7 @@ import (
 	"mcd/internal/dvfs"
 	"mcd/internal/hw"
 	"mcd/internal/pipeline"
+	"mcd/internal/resultcache"
 	"mcd/internal/runner"
 	"mcd/internal/sim"
 	"mcd/internal/stats"
@@ -119,6 +120,21 @@ func (o TraceOptions) Trace() (stats.Result, error) {
 	return res[0], nil
 }
 
+// traceSpec is the one construction point of a Figure 2/3 trace run, so
+// TraceMany and FollowTrace address the same computation.
+func (o Options) traceSpec(b workload.Benchmark) sim.Spec {
+	return sim.Spec{
+		Config:          o.config(),
+		Profile:         b.Profile,
+		Window:          o.Window,
+		Warmup:          o.Warmup,
+		IntervalLength:  o.IntervalLength,
+		Controller:      core.NewAttackDecay(o.Params),
+		RecordIntervals: true,
+		Name:            "attack-decay-trace",
+	}
+}
+
 // TraceMany records the Figure 2/3 interval trace of several benchmarks,
 // fanned out across the options' worker pool; results come back in
 // argument order. Unknown names fail up front, before any simulation
@@ -130,18 +146,65 @@ func (o Options) TraceMany(names []string) ([]stats.Result, error) {
 		if !ok {
 			return nil, fmt.Errorf("bench: unknown benchmark %q", name)
 		}
-		tasks[i] = o.task(name+"/trace", sim.Spec{
-			Config:          o.config(),
-			Profile:         b.Profile,
-			Window:          o.Window,
-			Warmup:          o.Warmup,
-			IntervalLength:  o.IntervalLength,
-			Controller:      core.NewAttackDecay(o.Params),
-			RecordIntervals: true,
-			Name:            "attack-decay-trace",
-		})
+		tasks[i] = o.task(name+"/trace", o.traceSpec(b))
 	}
 	return o.mapTasks(tasks), nil
+}
+
+// FollowTrace records one benchmark's Figure 2/3 trace through a
+// stepped session, calling emit with each measured interval as it is
+// produced — the mcdtrace -follow mode. It is cache-aware like
+// TraceMany (the same content address): a stored trace replays its
+// recorded intervals through emit instead of simulating, so the rows a
+// follower prints are identical either way.
+func (o Options) FollowTrace(name string, emit func(stats.Interval)) (stats.Result, error) {
+	b, ok := workload.Lookup(name)
+	if !ok {
+		return stats.Result{}, fmt.Errorf("bench: unknown benchmark %q", name)
+	}
+	spec := o.traceSpec(b)
+	compute := func() (stats.Result, error) {
+		ses, err := sim.Open(spec)
+		if err != nil {
+			return stats.Result{}, err
+		}
+		if emit != nil {
+			ses.Observe(emit)
+		}
+		ses.Step(-1)
+		return ses.Close(), nil
+	}
+	if o.Cache != nil {
+		if key, err := resultcache.SpecKey(spec); err == nil {
+			res, hit, err := o.Cache.DoResult(key, compute)
+			if err != nil {
+				return stats.Result{}, err
+			}
+			if hit && emit != nil {
+				for _, iv := range res.Intervals {
+					emit(iv)
+				}
+			}
+			return res, nil
+		}
+	}
+	return compute()
+}
+
+// FigureCSVHeader is the column header line FigureCSV emits.
+func FigureCSVHeader() string { return "instructions,queue_util,util_diff_pct,freq_ghz,ipc\n" }
+
+// FigureCSVRow renders row i of a Figure 2/3 trace; prev is the
+// previous row's queue utilization (ignored for the first row). It is
+// the incremental form FigureCSV (and mcdtrace -follow) is built from,
+// so streamed and post-hoc traces are byte-identical row for row.
+func FigureCSVRow(i int, iv stats.Interval, prev float64, d clock.Domain) string {
+	diff := 0.0
+	if i > 0 && prev != 0 {
+		diff = (iv.QueueUtil[d] - prev) / prev * 100
+	}
+	return fmt.Sprintf("%d,%.4f,%.2f,%.4f,%.4f\n",
+		(uint64(i)+1)*iv.Instructions, iv.QueueUtil[d], diff, iv.FreqMHz[d]/1000, iv.IPC)
 }
 
 // FigureCSV renders the interval trace of one domain as CSV with the
@@ -150,15 +213,10 @@ func (o Options) TraceMany(names []string) ([]stats.Result, error) {
 // percent (Figure 2a), and the domain frequency in GHz (Figures 2b/3b).
 func FigureCSV(res stats.Result, d clock.Domain) string {
 	var b strings.Builder
-	b.WriteString("instructions,queue_util,util_diff_pct,freq_ghz,ipc\n")
+	b.WriteString(FigureCSVHeader())
 	prev := 0.0
 	for i, iv := range res.Intervals {
-		diff := 0.0
-		if i > 0 && prev != 0 {
-			diff = (iv.QueueUtil[d] - prev) / prev * 100
-		}
-		fmt.Fprintf(&b, "%d,%.4f,%.2f,%.4f,%.4f\n",
-			(uint64(i)+1)*iv.Instructions, iv.QueueUtil[d], diff, iv.FreqMHz[d]/1000, iv.IPC)
+		b.WriteString(FigureCSVRow(i, iv, prev, d))
 		prev = iv.QueueUtil[d]
 	}
 	return b.String()

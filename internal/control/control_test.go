@@ -1,9 +1,11 @@
 package control
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
+	"mcd/internal/core"
 	"mcd/internal/pipeline"
 	"mcd/internal/resultcache"
 	"mcd/internal/sim"
@@ -359,4 +361,112 @@ func runByName(t *testing.T, name string, run Run) stats.Result {
 		t.Fatal(err)
 	}
 	return sim.Run(spec)
+}
+
+// The "global" definition must reproduce core.GlobalMatch exactly:
+// building its spec and running it yields the same Result the direct
+// search returns (the bisection's best probe is itself a synchronous
+// run at the matched frequency, so purity closes the loop).
+func TestGlobalDefinitionMatchesGlobalMatch(t *testing.T) {
+	run := testRun(t)
+	base := sim.RunSynchronousAt(run.Config, run.Profile, run.Window, run.Warmup,
+		run.Config.MaxFreqMHz, "global")
+	_, want := core.GlobalMatch(run.Config, run.Profile, run.Window, run.Warmup,
+		base.TimePS, 0.03, "global")
+
+	res, err := Resolve("global", Params{"deg": 0.03, "base_ps": base.TimePS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := res.Spec(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.Run(spec); !reflect.DeepEqual(want, got) {
+		t.Errorf("global definition run differs from core.GlobalMatch:\nwant %+v\ngot  %+v", want, got)
+	}
+
+	// base_ps 0 measures the baseline itself and must land on the same
+	// schedule (the measured base is bit-equal to the explicit one).
+	res0, err := Resolve("global", Params{"deg": 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec0, err := res0.Spec(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.Run(spec0); !reflect.DeepEqual(want, got) {
+		t.Error("global with measured baseline differs from explicit base_ps")
+	}
+
+	// The content address never pays for the bisection and separates by
+	// parameters.
+	k1, err := res.Key(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Resolve("global", Params{"deg": 0.05, "base_ps": base.TimePS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := res2.Key(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Error("distinct global targets share a content address")
+	}
+}
+
+// FromAttackDecay must be behaviour-preserving: resolving the schema
+// map it produces constructs a controller whose run is byte-identical
+// to core.NewAttackDecay over the original struct — zero
+// RefIPCDecay/IPCSmoothing (core's implicit defaults) included.
+func TestFromAttackDecayEquivalence(t *testing.T) {
+	run := testRun(t)
+	p := core.DefaultParams() // RefIPCDecay and IPCSmoothing are zero here
+	direct := run.spec()
+	direct.Controller = core.NewAttackDecay(p)
+	direct.Name = "attack-decay"
+	want := sim.Run(direct)
+
+	res, err := Resolve("attack-decay", FromAttackDecay(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := res.Spec(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.Run(spec); !reflect.DeepEqual(want, got) {
+		t.Error("FromAttackDecay resolution runs differently from core.NewAttackDecay")
+	}
+
+	// And its canonical encoding equals the schema defaults', so bench
+	// grid cells built from core.DefaultParams() share addresses with
+	// parameterless service requests.
+	def, err := Resolve("attack-decay", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Canonical() != def.Canonical() {
+		t.Errorf("FromAttackDecay(DefaultParams()) canonical %q != schema defaults %q",
+			res.Canonical(), def.Canonical())
+	}
+}
+
+// FromAttackDecay must cover every core.Params field: a field added
+// without extending the mapping would silently drop behaviour AND
+// alias behaviourally distinct runs onto one cache address (the map is
+// key material through the canonical encoding). Same pattern as
+// resultcache's TestKeyCoversEveryField.
+func TestFromAttackDecayCoversEveryField(t *testing.T) {
+	const covered = 10
+	if n := reflect.TypeOf(core.Params{}).NumField(); n != covered {
+		t.Errorf("core.Params has %d fields, FromAttackDecay maps %d: extend the mapping (and the attack-decay schema)", n, covered)
+	}
+	if n := len(FromAttackDecay(core.DefaultParams())); n != covered {
+		t.Errorf("FromAttackDecay returns %d parameters, want %d", n, covered)
+	}
 }

@@ -9,6 +9,7 @@ package pipeline
 import (
 	"mcd/internal/clock"
 	"mcd/internal/dvfs"
+	"mcd/internal/stats"
 )
 
 // Config collects the architectural (Table 4) and MCD-specific (Table 1)
@@ -157,6 +158,13 @@ type RunOptions struct {
 	// RecordIntervals retains per-interval records in the Result for
 	// the Figure 2/3 traces.
 	RecordIntervals bool
+	// OnInterval, if non-nil, is called with each measured control
+	// interval's record as it is produced (after the controller has
+	// observed the interval) — the streaming hook the session API and
+	// the live CLI/service modes ride on. It sees exactly the records
+	// RecordIntervals would retain and must not mutate simulation state;
+	// the record is a copy, safe to retain.
+	OnInterval func(iv stats.Interval)
 	// ConfigName labels the Result.
 	ConfigName string
 }

@@ -42,7 +42,8 @@ type storeRec struct {
 }
 
 // Core is one simulated processor instance. It is single-use: construct,
-// Run once, read the Result.
+// then either Run once, or Start once, advance with StepIntervals and
+// read the Result from Finish.
 type Core struct {
 	cfg  Config
 	gen  workload.Generator
@@ -75,6 +76,14 @@ type Core struct {
 	retired    uint64
 	lastRetire float64
 
+	// Stepping state: Run is Start + StepIntervals(-1) + Finish, and the
+	// session API (internal/sim.Session) drives the same three entry
+	// points interval by interval.
+	total   uint64  // retire target (warmup + window)
+	now     float64 // current simulated time
+	emitted int     // control intervals emitted since Start (warmup included)
+	halted  bool    // the loop can no longer advance (done, exhausted, or Halt)
+
 	// Warmup bookkeeping: measurement starts at the mark.
 	marked     bool
 	markTime   float64
@@ -102,8 +111,20 @@ func New(cfg Config, gen workload.Generator) *Core {
 }
 
 // Run simulates until opts.Window instructions retire (or the workload is
-// exhausted) and returns the measurements.
+// exhausted) and returns the measurements. It is exactly
+// Start + StepIntervals(-1) + Finish, so a stepped run produces
+// byte-identical measurements: pausing between loop iterations touches
+// no simulation state.
 func (c *Core) Run(opts RunOptions) stats.Result {
+	c.Start(opts)
+	c.StepIntervals(-1)
+	return c.Finish()
+}
+
+// Start initializes the core for stepped execution: clocks, regulators,
+// queues and accumulators are built, but no cycle executes until
+// StepIntervals.
+func (c *Core) Start(opts RunOptions) {
 	c.opts = opts
 	if c.opts.IntervalLength == 0 {
 		c.opts.IntervalLength = 10_000
@@ -148,12 +169,23 @@ func (c *Core) Run(opts RunOptions) stats.Result {
 	if opts.Warmup == 0 {
 		c.marked = true
 	}
+	c.total = opts.Warmup + opts.Window
+}
 
-	total := opts.Warmup + opts.Window
-	var now float64
-	for c.retired < total {
+// StepIntervals advances the simulation until at least n more control
+// intervals have been emitted or the run completes; n <= 0 drains it.
+// (A single front-end cycle can retire past two interval boundaries
+// when the interval is shorter than the retire width, so a step may
+// occasionally overshoot by one.) It returns true while the run can
+// still advance.
+func (c *Core) StepIntervals(n int) bool {
+	target := -1
+	if n > 0 {
+		target = c.emitted + n
+	}
+	for !c.halted && c.retired < c.total && (target < 0 || c.emitted < target) {
 		d, t := c.sched.Advance()
-		now = t
+		c.now = t
 		dt := t - c.last[d]
 		if dt < 0 {
 			dt = 0
@@ -176,21 +208,60 @@ func (c *Core) Run(opts RunOptions) stats.Result {
 
 		if t-c.lastRetire > 5e8 && c.retired > 0 {
 			panic(fmt.Sprintf("pipeline: no retirement for 0.5 ms at t=%.0f ps (retired %d/%d, rob=%d iiq=%d fiq=%d lsq=%d)",
-				t, c.retired, total, c.rob.Len(), c.iiq.Len(), c.fiq.Len(), c.lsq.Len()))
+				t, c.retired, c.total, c.rob.Len(), c.iiq.Len(), c.fiq.Len(), c.lsq.Len()))
 		}
 		if c.genDone && c.rob.Len() == 0 {
-			break // workload shorter than the window
+			c.halted = true // workload shorter than the window
 		}
 	}
-
-	measured := c.retired
-	if measured > opts.Warmup {
-		measured -= opts.Warmup
+	if c.retired >= c.total {
+		c.halted = true
 	}
-	span := now - c.markTime
+	return !c.halted
+}
+
+// Halt stops the run at the current loop boundary: subsequent
+// StepIntervals calls advance nothing and Finish reports the
+// measurements accumulated so far — the early-termination hook behind
+// sim.Session.StopWhen. Safe to call from an OnInterval observer (the
+// in-flight cycle completes first).
+func (c *Core) Halt() { c.halted = true }
+
+// Progress reports the measured aggregates accumulated so far; all but
+// the regulator targets are zero until warmup completes.
+func (c *Core) Progress() stats.Progress {
+	p := stats.Progress{Done: c.halted}
+	for d := 0; d < clock.NumControllable; d++ {
+		p.FreqMHz[d] = c.regs[d].TargetMHz()
+	}
+	if !c.marked {
+		return p
+	}
+	p.Intervals = c.ivIndex
+	p.Instructions = c.retired
+	if p.Instructions > c.opts.Warmup {
+		p.Instructions -= c.opts.Warmup
+	}
+	p.TimePS = c.now - c.markTime
+	for d := clock.Domain(0); d < clock.NumDomains; d++ {
+		p.EnergyPJ += c.meter.DomainPJ(d) - c.markEnergy[d]
+	}
+	return p
+}
+
+// Finish assembles the measurements accumulated so far into a Result.
+// After a full drain it is the Result Run returns; after Halt (or
+// mid-stepping) it is a well-formed partial Result covering the
+// measured region up to the current time.
+func (c *Core) Finish() stats.Result {
+	measured := c.retired
+	if measured > c.opts.Warmup {
+		measured -= c.opts.Warmup
+	}
+	span := c.now - c.markTime
 	res := stats.Result{
 		Benchmark:    c.gen.Name(),
-		Config:       opts.ConfigName,
+		Config:       c.opts.ConfigName,
 		Instructions: measured,
 		TimePS:       span,
 		Intervals:    c.intervals,
@@ -682,8 +753,10 @@ func (c *Core) emitInterval(t float64) {
 			}
 		}
 	}
-	if c.opts.RecordIntervals && c.marked {
-		c.intervals = append(c.intervals, stats.Interval{
+	var siv stats.Interval
+	notify := c.marked && (c.opts.RecordIntervals || c.opts.OnInterval != nil)
+	if notify {
+		siv = stats.Interval{
 			Index:        iv.Index,
 			Instructions: iv.Instructions,
 			EndPS:        iv.EndPS,
@@ -691,9 +764,18 @@ func (c *Core) emitInterval(t float64) {
 			QueueAvg:     iv.QueueAvg,
 			FreqMHz:      iv.FreqMHz,
 			IPC:          iv.IPC,
-		})
+		}
+		if c.opts.RecordIntervals {
+			c.intervals = append(c.intervals, siv)
+		}
 	}
 	c.ivStart = t
 	c.ivIndex++
+	c.emitted++
 	c.nextIvAt += ivLen
+	// The observer runs after the counters roll over, so a Progress read
+	// from inside it counts the interval it is being shown.
+	if notify && c.opts.OnInterval != nil {
+		c.opts.OnInterval(siv)
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -252,6 +253,15 @@ func (c *Cache) DoBytes(key string, compute func() ([]byte, error)) ([]byte, boo
 		c.stats.Dedups++
 		c.mu.Unlock()
 		<-cl.done
+		// A leader cancelled by its own caller (a streamed run whose
+		// client disconnected) must not fail unrelated followers: its
+		// context error is specific to that caller, not to the
+		// computation, so retry — either leading a fresh flight or
+		// joining the next one. A follower whose own compute is also
+		// cancelled still fails with its own context error.
+		if cl.err != nil && (errors.Is(cl.err, context.Canceled) || errors.Is(cl.err, context.DeadlineExceeded)) {
+			return c.DoBytes(key, compute)
+		}
 		return cl.b, cl.err == nil, cl.err
 	}
 	cl := &call{done: make(chan struct{})}

@@ -2,6 +2,8 @@ package resultcache_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -370,5 +372,54 @@ func TestNilCacheComputes(t *testing.T) {
 	}
 	if s := c.Stats(); s != (resultcache.Stats{}) {
 		t.Fatalf("nil cache stats = %+v", s)
+	}
+}
+
+// A flight leader cancelled by its own caller (a streamed run whose
+// client disconnected) must not fail unrelated followers: they retry —
+// becoming the leader — instead of inheriting context.Canceled.
+func TestCancelledLeaderDoesNotPoisonFollowers(t *testing.T) {
+	c, err := resultcache.New(resultcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaderStarted := make(chan struct{})
+	leaderAbort := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.DoBytes("k", func() ([]byte, error) {
+			close(leaderStarted)
+			<-leaderAbort
+			return nil, context.Canceled
+		})
+		leaderDone <- err
+	}()
+	<-leaderStarted
+
+	followerDone := make(chan error, 1)
+	var followerBody []byte
+	go func() {
+		b, _, err := c.DoBytes("k", func() ([]byte, error) {
+			return []byte(`{"ok":true}` + "\n"), nil
+		})
+		followerBody = b
+		followerDone <- err
+	}()
+	// Give the follower time to join the flight, then cancel the leader.
+	time.Sleep(20 * time.Millisecond)
+	close(leaderAbort)
+
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Errorf("leader error = %v, want context.Canceled", err)
+	}
+	if err := <-followerDone; err != nil {
+		t.Errorf("follower inherited the leader's cancellation: %v", err)
+	}
+	if string(followerBody) != `{"ok":true}`+"\n" {
+		t.Errorf("follower body %q", followerBody)
+	}
+	// The retried computation stored normally.
+	if _, ok := c.GetBytes("k"); !ok {
+		t.Error("retried computation not stored")
 	}
 }

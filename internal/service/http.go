@@ -12,7 +12,7 @@ import (
 
 // NewHandler exposes a Manager as the mcdserve HTTP API:
 //
-//	POST   /v1/runs          one run ({"async":true} to queue) or {"runs":[...]} batch
+//	POST   /v1/runs          one run ({"async":true} to queue, {"stream":true} for a live NDJSON interval feed) or {"runs":[...]} batch
 //	POST   /v1/experiments   {"name":"table6"|...,"quick":true,...} — always a job
 //	GET    /v1/controllers   the controller registry: names, docs, parameter schemas
 //	GET    /v1/jobs          job list, newest first
@@ -77,11 +77,14 @@ func NewHandler(m *Manager) http.Handler {
 }
 
 // runsPayload is the POST /v1/runs body: one run's fields inline, or a
-// batch under "runs"; async turns the single-run form into a queued job.
+// batch under "runs"; async turns the single-run form into a queued
+// job, stream turns it into a live NDJSON interval feed (async+stream
+// queues a stream job whose intervals arrive on its /events feed).
 type runsPayload struct {
 	wire.RunRequest
-	Async bool              `json:"async,omitempty"`
-	Runs  []wire.RunRequest `json:"runs,omitempty"`
+	Async  bool              `json:"async,omitempty"`
+	Stream bool              `json:"stream,omitempty"`
+	Runs   []wire.RunRequest `json:"runs,omitempty"`
 }
 
 func handleRuns(m *Manager, w http.ResponseWriter, r *http.Request) {
@@ -91,6 +94,10 @@ func handleRuns(m *Manager, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(p.Runs) > 0 {
+		if p.Stream {
+			writeError(w, http.StatusBadRequest, errors.New("stream applies to a single run, not a batch"))
+			return
+		}
 		j, err := m.SubmitBatch(p.Runs)
 		if err != nil {
 			writeSubmitError(w, err)
@@ -100,12 +107,20 @@ func handleRuns(m *Manager, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if p.Async {
-		j, err := m.SubmitRun(p.RunRequest)
+		submit := m.SubmitRun
+		if p.Stream {
+			submit = m.SubmitStream
+		}
+		j, err := submit(p.RunRequest)
 		if err != nil {
 			writeSubmitError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, j.Snapshot())
+		return
+	}
+	if p.Stream {
+		handleStreamRun(m, w, r, p.RunRequest)
 		return
 	}
 	// Synchronous: a stored result is served straight from the cache —
@@ -143,6 +158,85 @@ func handleRuns(m *Manager, w http.ResponseWriter, r *http.Request) {
 	w.Write(body)
 }
 
+// handleStreamRun answers a {"stream":true} run with NDJSON
+// wire.StreamFrame lines: one "interval" frame per measured control
+// interval as the simulation produces it, then a terminal "result"
+// frame whose bytes are exactly the non-streamed response body (or an
+// "error" frame). The X-Cache header comes from a store probe before
+// streaming starts: a stored result answers as a single hit frame
+// without simulating, so the identical follow-up to a completed
+// streamed run is a hit — the byte-identity contract extends to
+// streams. The terminal frame's "cache" field is the authoritative
+// report: when an identical computation lands in flight between the
+// probe and the run, a stream that began as X-Cache: miss can legally
+// end with zero interval frames and a "cache":"hit" result. A client
+// that disconnects cancels the job, which closes the stepped session
+// at the next interval boundary.
+func handleStreamRun(m *Manager, w http.ResponseWriter, r *http.Request, req wire.RunRequest) {
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	if key, err := req.Key(); err == nil {
+		if body, ok := m.Cache().GetBytes(key); ok {
+			w.Header().Set("X-Cache", "hit")
+			enc.Encode(wire.ResultFrame(body, true))
+			return
+		}
+	}
+	j, err := m.SubmitStream(req)
+	if err != nil {
+		w.Header().Del("Content-Type")
+		writeSubmitError(w, err)
+		return
+	}
+	w.Header().Set("X-Cache", "miss")
+	next := 0
+	for {
+		ch := j.Watch()
+		snap := j.Snapshot()
+		ivs, n, dropped := j.IntervalsSince(next)
+		next = n
+		if dropped > 0 {
+			// This consumer outran the bounded interval log; the gap is
+			// explicit in the stream, never silent.
+			if enc.Encode(wire.GapFrame(dropped)) != nil {
+				m.Cancel(j.ID())
+				return
+			}
+		}
+		for i := range ivs {
+			if enc.Encode(wire.IntervalFrame(&ivs[i])) != nil {
+				m.Cancel(j.ID())
+				return
+			}
+		}
+		if flusher != nil && len(ivs) > 0 {
+			flusher.Flush()
+		}
+		if snap.Terminal() {
+			if snap.State == Done {
+				body, _ := j.Result()
+				enc.Encode(wire.ResultFrame(body, snap.CacheHit))
+			} else {
+				enc.Encode(wire.ErrorFrame(snap.Error))
+			}
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			// A departed client must not keep simulating; cancellation
+			// closes the session between intervals.
+			m.Cancel(j.ID())
+			return
+		}
+	}
+}
+
 func handleExperiments(m *Manager, w http.ResponseWriter, r *http.Request) {
 	var e wire.ExperimentRequest
 	if err := decodeBody(w, r, &e); err != nil {
@@ -158,7 +252,10 @@ func handleExperiments(m *Manager, w http.ResponseWriter, r *http.Request) {
 }
 
 // handleEvents streams one NDJSON snapshot line per progress update,
-// closing after the terminal line (or when the client goes away).
+// closing after the terminal line (or when the client goes away). For
+// stream jobs the snapshots are interleaved with "interval" frames
+// (wire.StreamFrame lines) as the simulation produces them, so an
+// async streamed run is observable live through its /events feed.
 func handleEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
 	j, ok := m.Job(r.PathValue("id"))
 	if !ok {
@@ -168,11 +265,31 @@ func handleEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	next := 0
+	var last Snapshot
+	haveLast := false
 	for {
 		ch := j.Watch()
 		snap := j.Snapshot()
-		if err := enc.Encode(snap); err != nil {
-			return
+		ivs, n, dropped := j.IntervalsSince(next)
+		next = n
+		if dropped > 0 {
+			if enc.Encode(wire.GapFrame(dropped)) != nil {
+				return
+			}
+		}
+		for i := range ivs {
+			if enc.Encode(wire.IntervalFrame(&ivs[i])) != nil {
+				return
+			}
+		}
+		// Stream jobs wake watchers once per interval; the snapshot line
+		// is only worth a flush when it actually changed.
+		if !haveLast || snap != last {
+			if err := enc.Encode(snap); err != nil {
+				return
+			}
+			last, haveLast = snap, true
 		}
 		if flusher != nil {
 			flusher.Flush()

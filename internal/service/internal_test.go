@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"mcd/internal/resultcache"
+	"mcd/internal/stats"
 	"mcd/internal/wire"
 )
 
@@ -258,5 +259,31 @@ func TestJobPanicIsIsolated(t *testing.T) {
 	waitState(t, good, Done)
 	if b, ok := good.Result(); !ok || string(b) != "ok\n" {
 		t.Fatalf("result = %q, %v", b, ok)
+	}
+}
+
+// The bounded interval log reports what it overwrote: a consumer that
+// lags past maxJobIntervals gets an explicit dropped count, never a
+// silent hole.
+func TestIntervalLogReportsDrops(t *testing.T) {
+	j := &Job{watch: make(chan struct{})}
+	total := maxJobIntervals + 100
+	for i := 0; i < total; i++ {
+		j.pushInterval(stats.Interval{Index: i})
+	}
+	ivs, next, dropped := j.IntervalsSince(0)
+	if dropped != 100 {
+		t.Errorf("dropped = %d, want 100", dropped)
+	}
+	if len(ivs) != maxJobIntervals || next != total {
+		t.Errorf("got %d records, next %d; want %d, %d", len(ivs), next, maxJobIntervals, total)
+	}
+	if ivs[0].Index != 100 || ivs[len(ivs)-1].Index != total-1 {
+		t.Errorf("log window [%d, %d], want [100, %d]", ivs[0].Index, ivs[len(ivs)-1].Index, total-1)
+	}
+	// A caught-up consumer sees no drops and no records.
+	ivs, next2, dropped := j.IntervalsSince(next)
+	if len(ivs) != 0 || dropped != 0 || next2 != next {
+		t.Errorf("caught-up read: %d records, %d dropped", len(ivs), dropped)
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"mcd"
 	"mcd/internal/resultcache"
+	"mcd/internal/stats"
 	"mcd/internal/wire"
 )
 
@@ -236,7 +237,12 @@ func (m *Manager) submit(kind string, total int, run func(ctx context.Context, j
 	return j, nil
 }
 
-// SubmitRun enqueues one simulation run.
+// SubmitRun enqueues one simulation run. It executes through the
+// stepped session (RunStream with no observer): byte-identical to
+// RunCachedBytes by the session contract, but the job's context is
+// consulted every control interval, so cancellation — DELETE, a
+// departed synchronous client, shutdown — aborts the simulation at the
+// next interval boundary instead of after the full window.
 func (m *Manager) SubmitRun(r wire.RunRequest) (*Job, error) {
 	if err := r.Validate(); err != nil {
 		return nil, err
@@ -245,13 +251,45 @@ func (m *Manager) SubmitRun(r wire.RunRequest) (*Job, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		body, hit, err := r.RunCachedBytes(m.opts.Cache)
+		body, hit, err := r.RunStream(ctx, m.opts.Cache, nil)
 		if err != nil {
 			return nil, err
 		}
 		j.update(func(j *Job) {
 			j.done = 1
 			j.task = r.Normalize().Benchmark + "/" + r.ControllerName()
+			j.hit = hit
+		})
+		return body, nil
+	})
+}
+
+// SubmitStream enqueues one simulation run whose measured control
+// intervals are published on the job as they are produced (the backing
+// of the service's "stream" run mode): watchers drain them with
+// IntervalsSince, interleaved with the usual progress snapshots.
+// Cancellation — DELETE, a departed client, shutdown — closes the
+// stepped session at the next interval boundary; the partial result is
+// discarded and the job reports Failed with the context error. A
+// completed streamed run stores bytes identical to a one-shot run of
+// the same request, so the follow-up identical request is a cache hit.
+func (m *Manager) SubmitStream(r wire.RunRequest) (*Job, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return m.submit("stream", 1, func(ctx context.Context, j *Job) ([]byte, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		j.update(func(j *Job) {
+			j.task = r.Normalize().Benchmark + "/" + r.ControllerName()
+		})
+		body, hit, err := r.RunStream(ctx, m.opts.Cache, j.pushInterval)
+		if err != nil {
+			return nil, err
+		}
+		j.update(func(j *Job) {
+			j.done = 1
 			j.hit = hit
 		})
 		return body, nil
@@ -338,10 +376,24 @@ func (m *Manager) SubmitExperiment(e wire.ExperimentRequest) (*Job, error) {
 	})
 }
 
-// noteTerminal records a finished job for the pruner.
+// maxTerminalIntervalLogs is how many finished jobs keep their interval
+// logs. A terminal stream job's log exists only for watchers still
+// draining its final frames; beyond the most recent few, the records
+// are dead weight (up to ~maxJobIntervals × the record size per job,
+// across up to RetainJobs jobs), so older logs are released and a late
+// watcher sees an explicit gap frame instead.
+const maxTerminalIntervalLogs = 8
+
+// noteTerminal records a finished job for the pruner and releases the
+// interval log of the job that just aged past the retained window.
 func (m *Manager) noteTerminal(id string) {
 	m.mu.Lock()
 	m.terminal = append(m.terminal, id)
+	if idx := len(m.terminal) - 1 - maxTerminalIntervalLogs; idx >= 0 {
+		if j, ok := m.jobs[m.terminal[idx]]; ok {
+			j.dropIntervals()
+		}
+	}
 	m.pruneLocked()
 	m.mu.Unlock()
 }
@@ -438,6 +490,59 @@ type Job struct {
 	started  time.Time
 	finished time.Time
 	watch    chan struct{}
+
+	// Interval log of a stream job: ivs[0] is interval number ivBase of
+	// the run (the log is bounded; a watcher that lags more than
+	// maxJobIntervals skips the overwritten records).
+	ivBase int
+	ivs    []stats.Interval
+}
+
+// maxJobIntervals bounds one job's retained interval log, so a streamed
+// run over an enormous window cannot grow server memory without bound:
+// live watchers drain the log far faster than simulation fills it, and
+// a lagging watcher observes a gap rather than the server an OOM.
+const maxJobIntervals = 8192
+
+// pushInterval appends one measured interval record and wakes watchers.
+func (j *Job) pushInterval(iv stats.Interval) {
+	j.update(func(j *Job) {
+		j.ivs = append(j.ivs, iv)
+		if drop := len(j.ivs) - maxJobIntervals; drop > 0 {
+			j.ivBase += drop
+			j.ivs = j.ivs[:copy(j.ivs, j.ivs[drop:])]
+		}
+	})
+}
+
+// dropIntervals releases the job's interval log; remaining watchers
+// observe the dropped records as an explicit gap.
+func (j *Job) dropIntervals() {
+	j.mu.Lock()
+	j.ivBase += len(j.ivs)
+	j.ivs = nil
+	j.mu.Unlock()
+}
+
+// IntervalsSince returns copies of the interval records produced at or
+// after absolute interval index n, the next index to resume from, and
+// how many records between n and the first returned one were already
+// overwritten (a consumer lagging past the log bound — report it, never
+// drop it silently). Pair it with Watch/Snapshot exactly like progress
+// polling: take the watch channel, read the snapshot, then drain
+// intervals.
+func (j *Job) IntervalsSince(n int) (ivs []stats.Interval, next, dropped int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n < j.ivBase {
+		dropped = j.ivBase - n
+		n = j.ivBase
+	}
+	end := j.ivBase + len(j.ivs)
+	if n >= end {
+		return nil, end, dropped
+	}
+	return append([]stats.Interval(nil), j.ivs[n-j.ivBase:]...), end, dropped
 }
 
 // ID returns the job's identifier.

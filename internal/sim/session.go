@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"errors"
+
+	"mcd/internal/pipeline"
+	"mcd/internal/stats"
+)
+
+// Session is a resumable simulation: the run loop of pipeline.Core
+// inverted into caller-driven stepping, so a long run can be observed,
+// steered and stopped early while it executes. Open a session, attach
+// observers and an optional early-termination predicate, Step it (from
+// a loop, a job runner, a handler), and Close it for the Result.
+//
+// Determinism: stepping only pauses the core's event loop between
+// iterations — no simulation state depends on where the pauses fall —
+// so a session drained in any step sizes produces a Result
+// byte-identical to Run(spec) for the same spec. Run itself is an
+// Open + drain + Close over this type, which makes the identity hold
+// by construction; the registry-wide contract test at the repository
+// root enforces it for every registered controller.
+//
+// A Session is not safe for concurrent use; drive it from one
+// goroutine.
+type Session struct {
+	spec      Spec
+	core      *pipeline.Core
+	observers []func(stats.Interval)
+	stop      func(stats.Progress) bool
+	last      stats.Interval
+	haveIV    bool
+	stopped   bool
+	done      bool
+	closed    bool
+	result    stats.Result
+}
+
+// Open starts a session over the spec. The simulation is initialized
+// but no cycle executes until Step. It fails only when the spec has
+// nothing to run (zero window and warmup).
+func Open(s Spec) (*Session, error) {
+	if s.Window == 0 && s.Warmup == 0 {
+		return nil, errors.New("sim: session spec has nothing to run (zero window and warmup)")
+	}
+	return open(s), nil
+}
+
+// open is Open without the validation, shared with Run so the two stay
+// behaviourally identical for every spec Run has ever accepted.
+func open(s Spec) *Session {
+	ses := &Session{spec: s}
+	gen := s.Profile.NewGenerator(s.Warmup + s.Window)
+	ses.core = pipeline.New(s.Config, gen)
+	ses.core.Start(pipeline.RunOptions{
+		Window:          s.Window,
+		Warmup:          s.Warmup,
+		IntervalLength:  s.IntervalLength,
+		Controller:      s.Controller,
+		InitialFreqMHz:  s.InitialFreqMHz,
+		RecordIntervals: s.RecordIntervals,
+		ConfigName:      s.Name,
+		OnInterval:      ses.onInterval,
+	})
+	return ses
+}
+
+// onInterval fans one measured interval record out to the observers,
+// then evaluates the early-termination predicate.
+func (s *Session) onInterval(iv stats.Interval) {
+	s.last, s.haveIV = iv, true
+	for _, fn := range s.observers {
+		fn(iv)
+	}
+	if s.stop != nil && !s.stopped && s.stop(s.Snapshot()) {
+		s.stopped = true
+		s.core.Halt()
+	}
+}
+
+// Observe registers fn to be called with every measured control
+// interval as it is produced — exactly the records RecordIntervals
+// would retain, without buffering them. Attach observers before
+// stepping; they run on the stepping goroutine.
+func (s *Session) Observe(fn func(stats.Interval)) {
+	s.observers = append(s.observers, fn)
+}
+
+// StopWhen installs an early-termination predicate, evaluated with the
+// session's progress at every measured interval boundary: once it
+// returns true the session halts, Step returns false, and Close
+// finalizes a well-formed partial Result covering the measured region
+// so far. See Converged for the EPI/CPI-stability family of predicates.
+func (s *Session) StopWhen(cond func(stats.Progress) bool) {
+	s.stop = cond
+}
+
+// Step advances the simulation until at least n more control intervals
+// have been emitted (n <= 0 drains the run), returning true while the
+// run can still advance. Warmup intervals count toward n but are not
+// observed.
+func (s *Session) Step(n int) bool {
+	if s.done || s.closed {
+		return false
+	}
+	if !s.core.StepIntervals(n) {
+		s.done = true
+	}
+	return !s.done
+}
+
+// Snapshot reports resumable progress: measured instructions retired,
+// time, energy, the current regulator frequency targets, the last
+// interval's IPC, and whether the run finished or stopped early.
+func (s *Session) Snapshot() stats.Progress {
+	p := s.core.Progress()
+	if s.haveIV {
+		p.IPC = s.last.IPC
+	}
+	p.Stopped = s.stopped
+	if s.closed {
+		p.Done = true
+	}
+	return p
+}
+
+// Close finalizes the session at its current position — it does not
+// advance the run — and returns the Result: complete after a full
+// drain, a well-formed partial otherwise. Close is idempotent;
+// subsequent calls return the same Result and further Steps are no-ops.
+func (s *Session) Close() stats.Result {
+	if !s.closed {
+		s.closed = true
+		s.done = true
+		s.result = s.core.Finish()
+	}
+	return s.result
+}
+
+// Converged returns a StopWhen predicate that fires once metric has
+// moved by at most eps (relatively) across k consecutive measured
+// intervals — e.g.
+//
+//	ses.StopWhen(sim.Converged(stats.Progress.EPI, 0.001, 20))
+//
+// stops a run whose energy per instruction has settled.
+func Converged(metric func(stats.Progress) float64, eps float64, k int) func(stats.Progress) bool {
+	var prev float64
+	have, stable := false, 0
+	return func(p stats.Progress) bool {
+		v := metric(p)
+		if have {
+			d := v - prev
+			if d < 0 {
+				d = -d
+			}
+			bound := prev
+			if bound < 0 {
+				bound = -bound
+			}
+			if d <= eps*bound {
+				stable++
+			} else {
+				stable = 0
+			}
+		}
+		prev, have = v, true
+		return stable >= k
+	}
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"mcd/internal/clock"
+	"mcd/internal/pipeline"
+	"mcd/internal/stats"
+)
+
+func sessionSpec(record bool) Spec {
+	cfg := pipeline.DefaultConfig()
+	cfg.SlewNsPerMHz = 4.91
+	return Spec{
+		Config:          cfg,
+		Profile:         profile(),
+		Window:          40_000,
+		Warmup:          10_000,
+		IntervalLength:  1_000,
+		RecordIntervals: record,
+		Name:            "session-test",
+	}
+}
+
+// halver is a deterministic stateful test controller, so the stepped
+// equivalence covers controller-driven frequency changes too.
+type halver struct{ n int }
+
+func (h *halver) Name() string { return "halver" }
+
+func (h *halver) Observe(iv pipeline.IntervalView) (t [clock.NumControllable]float64) {
+	h.n++
+	if h.n%4 == 0 {
+		t[clock.FloatingPoint] = 500
+	} else {
+		t[clock.FloatingPoint] = 1000
+	}
+	return t
+}
+
+// A session drained in any mix of step sizes must produce the Result
+// Run produces — the inversion's core contract.
+func TestSessionStepEquivalence(t *testing.T) {
+	for _, stepN := range []int{1, 3, 7, -1} {
+		spec := sessionSpec(true)
+		spec.Controller = &halver{}
+		want := Run(spec)
+
+		spec2 := sessionSpec(true)
+		spec2.Controller = &halver{} // fresh instance: controllers are stateful
+		ses, err := Open(spec2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ses.Step(stepN) {
+		}
+		got := ses.Close()
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("step size %d: stepped result differs from Run", stepN)
+		}
+	}
+}
+
+// Observers see exactly the records RecordIntervals retains, in order.
+func TestSessionObserve(t *testing.T) {
+	spec := sessionSpec(true)
+	ses, err := Open(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []stats.Interval
+	ses.Observe(func(iv stats.Interval) { seen = append(seen, iv) })
+	ses.Step(-1)
+	res := ses.Close()
+	if len(res.Intervals) == 0 {
+		t.Fatal("no intervals recorded")
+	}
+	if !reflect.DeepEqual(seen, res.Intervals) {
+		t.Errorf("observed %d intervals != recorded %d", len(seen), len(res.Intervals))
+	}
+	if snap := ses.Snapshot(); !snap.Done || snap.Instructions != res.Instructions {
+		t.Errorf("snapshot %+v inconsistent with result (%d instructions)", snap, res.Instructions)
+	}
+}
+
+// StopWhen halts the drain mid-window and Close returns a well-formed
+// partial Result covering the measured region so far.
+func TestSessionEarlyStop(t *testing.T) {
+	spec := sessionSpec(false)
+	ses, err := Open(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stopAt = 5
+	ses.StopWhen(func(p stats.Progress) bool { return p.Intervals >= stopAt })
+	ses.Step(-1)
+	if ses.Step(1) {
+		t.Error("Step keeps reporting progress after an early stop")
+	}
+	snap := ses.Snapshot()
+	if !snap.Stopped || !snap.Done {
+		t.Errorf("snapshot after early stop: %+v", snap)
+	}
+	res := ses.Close()
+	if res.Instructions == 0 || res.Instructions >= spec.Window {
+		t.Errorf("partial result measured %d instructions, want in (0, %d)", res.Instructions, spec.Window)
+	}
+	if res.TimePS <= 0 || res.EnergyPJ <= 0 || res.CPI() <= 0 || res.EPI() <= 0 {
+		t.Errorf("partial result not well-formed: time %.0f energy %.0f", res.TimePS, res.EnergyPJ)
+	}
+	want := uint64(stopAt) * spec.IntervalLength
+	// The stop lands at the interval boundary that tripped the
+	// predicate (the in-flight front-end cycle may retire a few more).
+	if res.Instructions < want || res.Instructions > want+uint64(spec.Config.RetireWidth) {
+		t.Errorf("measured %d instructions, want ~%d (stop mid-window, not at the end)", res.Instructions, want)
+	}
+}
+
+func TestOpenRejectsEmptySpec(t *testing.T) {
+	if _, err := Open(Spec{Profile: profile()}); err == nil {
+		t.Error("Open accepted a spec with nothing to run")
+	}
+}
+
+func TestConverged(t *testing.T) {
+	vals := []float64{10, 5, 5.001, 5.0005, 5.0004, 5.0004, 5.0004}
+	pred := Converged(func(p stats.Progress) float64 { return p.EnergyPJ }, 0.001, 3)
+	fired := -1
+	for i, v := range vals {
+		if pred(stats.Progress{EnergyPJ: v}) {
+			fired = i
+			break
+		}
+	}
+	if fired != 4 {
+		t.Errorf("predicate fired at index %d, want 4 (three consecutive stable deltas)", fired)
+	}
+}

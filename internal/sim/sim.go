@@ -33,19 +33,13 @@ type Spec struct {
 	Name string
 }
 
-// Run executes the spec.
+// Run executes the spec: a session opened, drained and closed. The
+// session API is the run loop, so one-shot and stepped execution are
+// byte-identical by construction.
 func Run(s Spec) stats.Result {
-	gen := s.Profile.NewGenerator(s.Warmup + s.Window)
-	core := pipeline.New(s.Config, gen)
-	return core.Run(pipeline.RunOptions{
-		Window:          s.Window,
-		Warmup:          s.Warmup,
-		IntervalLength:  s.IntervalLength,
-		Controller:      s.Controller,
-		InitialFreqMHz:  s.InitialFreqMHz,
-		RecordIntervals: s.RecordIntervals,
-		ConfigName:      s.Name,
-	})
+	ses := open(s)
+	ses.Step(-1)
+	return ses.Close()
 }
 
 // Synchronous returns the configuration of the conventional fully

@@ -71,6 +71,54 @@ func (r Result) PowerW() float64 {
 	return r.EnergyPJ / r.TimePS
 }
 
+// Progress is the incrementally finalized view of an in-progress run:
+// the same aggregates a full Result reports, readable at any control
+// interval boundary while the simulation is still executing. The
+// session API's snapshots (sim.Session.Snapshot) and the serving
+// layer's interval streams are built from it. Aggregates cover the
+// measured region only — during warmup everything but FreqMHz is zero.
+type Progress struct {
+	// Intervals counts the measured control intervals emitted so far.
+	Intervals int `json:"intervals"`
+	// Instructions is the number of measured instructions retired.
+	Instructions uint64  `json:"instructions"`
+	TimePS       float64 `json:"time_ps"`
+	EnergyPJ     float64 `json:"energy_pj"`
+	// FreqMHz is each domain's current regulator target.
+	FreqMHz [clock.NumControllable]float64 `json:"freq_mhz"`
+	// IPC is the last measured interval's IPC (zero before the first).
+	IPC float64 `json:"ipc,omitempty"`
+	// Done reports that the run cannot advance further.
+	Done bool `json:"done"`
+	// Stopped reports that an early-termination predicate fired.
+	Stopped bool `json:"stopped,omitempty"`
+}
+
+// CPI returns the running cycles per instruction at the 1 GHz reference
+// clock, the same normalization Result.CPI uses.
+func (p Progress) CPI() float64 {
+	if p.Instructions == 0 {
+		return 0
+	}
+	return p.TimePS / 1000 / float64(p.Instructions)
+}
+
+// EPI returns the running energy per instruction in picojoules.
+func (p Progress) EPI() float64 {
+	if p.Instructions == 0 {
+		return 0
+	}
+	return p.EnergyPJ / float64(p.Instructions)
+}
+
+// PowerW returns the running average power in watts.
+func (p Progress) PowerW() float64 {
+	if p.TimePS == 0 {
+		return 0
+	}
+	return p.EnergyPJ / p.TimePS
+}
+
 // Comparison holds the paper's four headline metrics for one run measured
 // against a baseline run of the same workload.
 type Comparison struct {

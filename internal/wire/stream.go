@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+
+	"mcd/internal/resultcache"
+	"mcd/internal/sim"
+	"mcd/internal/stats"
+)
+
+// Frame type tags of the streamed-run NDJSON encoding.
+const (
+	FrameInterval = "interval"
+	FrameResult   = "result"
+	FrameError    = "error"
+	// FrameGap reports intervals a lagging consumer missed: the
+	// server's bounded per-job interval log overwrote Dropped records
+	// before they could be sent. The stream stays well-formed — the
+	// gap is explicit, never silent.
+	FrameGap = "gap"
+)
+
+// StreamFrame is one NDJSON line of a streamed run: the body of
+// POST /v1/runs with "stream":true, the interval lines a stream job's
+// /events feed interleaves with its progress snapshots, and what
+// mcdsim -live -json prints. A stream is zero or more "interval"
+// frames followed by exactly one terminal "result" or "error" frame.
+type StreamFrame struct {
+	Type string `json:"type"`
+	// Interval carries one measured control interval's telemetry
+	// (Type "interval").
+	Interval *stats.Interval `json:"interval,omitempty"`
+	// Result carries the canonical result encoding (Type "result") —
+	// byte-identical to the body a non-streamed run of the same request
+	// serves.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Cache reports "hit" or "miss" on the result frame.
+	Cache string `json:"cache,omitempty"`
+	// Error carries the failure message of a terminal "error" frame.
+	Error string `json:"error,omitempty"`
+	// Dropped counts the interval records a "gap" frame stands in for.
+	Dropped int `json:"dropped,omitempty"`
+}
+
+// IntervalFrame wraps one interval record as a stream frame.
+func IntervalFrame(iv *stats.Interval) StreamFrame {
+	return StreamFrame{Type: FrameInterval, Interval: iv}
+}
+
+// ResultFrame wraps a canonical result body (trailing newline and all)
+// as the terminal stream frame.
+func ResultFrame(body []byte, hit bool) StreamFrame {
+	cache := "miss"
+	if hit {
+		cache = "hit"
+	}
+	return StreamFrame{Type: FrameResult, Result: json.RawMessage(bytes.TrimSuffix(body, []byte("\n"))), Cache: cache}
+}
+
+// ErrorFrame wraps a failure as the terminal stream frame.
+func ErrorFrame(msg string) StreamFrame {
+	return StreamFrame{Type: FrameError, Error: msg}
+}
+
+// GapFrame marks n interval records lost to a lagging consumer.
+func GapFrame(n int) StreamFrame {
+	return StreamFrame{Type: FrameGap, Dropped: n}
+}
+
+// RunStream executes the request through a stepped simulation session,
+// calling emit with every measured control interval as it is produced,
+// and returns the canonical result body — byte-identical to
+// RunCachedBytes for the same request, so a completed streamed run
+// stores the same SpecKey → Result bytes as a one-shot run. A cache hit
+// (including joining an identical in-flight computation) returns the
+// stored bytes without simulating and emits nothing. Cancelling ctx
+// closes the session at the next interval boundary and returns
+// ctx.Err(); the partial result is discarded, never stored.
+func (r RunRequest) RunStream(ctx context.Context, c *resultcache.Cache, emit func(stats.Interval)) (body []byte, hit bool, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	run, res, err := r.controlRun()
+	if err != nil {
+		return nil, false, err
+	}
+	compute := func() ([]byte, error) {
+		spec, err := res.Spec(run)
+		if err != nil {
+			return nil, err
+		}
+		ses, err := sim.Open(spec)
+		if err != nil {
+			return nil, err
+		}
+		if emit != nil {
+			ses.Observe(emit)
+		}
+		for ses.Step(1) {
+			if err := ctx.Err(); err != nil {
+				ses.Close()
+				return nil, err
+			}
+		}
+		return resultcache.EncodeResult(ses.Close())
+	}
+	if c == nil {
+		body, err = compute()
+		return body, false, err
+	}
+	key, err := res.Key(run)
+	if err != nil {
+		return nil, false, err
+	}
+	return c.DoBytes(key, compute)
+}

@@ -92,8 +92,34 @@ func Summarize(cs []Comparison) Summary { return stats.Summarize(cs) }
 // Spec describes one simulation run.
 type Spec = sim.Spec
 
-// Run executes a simulation.
+// Run executes a simulation: a session opened, drained and closed, so
+// one-shot and stepped execution are byte-identical by construction.
 func Run(s Spec) Result { return sim.Run(s) }
+
+// Session is a resumable simulation: the run loop inverted into
+// caller-driven stepping, so a long run can be observed (Observe),
+// inspected (Snapshot), stopped early (StopWhen) and finalized at any
+// interval boundary (Close) while it executes.
+type Session = sim.Session
+
+// Snapshot is the incrementally finalized view of an in-progress run:
+// measured instructions, time, energy, current regulator targets and
+// the last interval's IPC, with CPI/EPI/PowerW derived the same way
+// Result derives them.
+type Snapshot = stats.Progress
+
+// Open starts a session over the spec. The simulation is initialized
+// but no cycle executes until Session.Step; mcd.Run is exactly
+// Open + drain + Close.
+func Open(s Spec) (*Session, error) { return sim.Open(s) }
+
+// Converged returns a Session.StopWhen predicate that fires once metric
+// has moved by at most eps (relatively) across k consecutive measured
+// intervals — e.g. Converged(Snapshot.EPI, 0.001, 20) stops a run whose
+// energy per instruction has settled.
+func Converged(metric func(Snapshot) float64, eps float64, k int) func(Snapshot) bool {
+	return sim.Converged(metric, eps, k)
+}
 
 // RunRequest names one run of a batch. Exactly one of Spec and Do must be
 // set: Spec describes a plain simulation run; Do wraps a compound

@@ -1,0 +1,80 @@
+package mcd_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mcd"
+)
+
+// TestSessionByteIdentityAllControllers is the loop-inversion contract,
+// registry-driven like the PR 3 round-trip test: for every registered
+// controller name, a session stepped in small increments produces a
+// Result byte-identical to mcd.Run of the same spec. Because mcd.Run is
+// itself an Open + drain + Close, this pins one-shot output across the
+// inversion for the whole registry — compound Build controllers
+// (dynamic schedules, the global bisection) included.
+func TestSessionByteIdentityAllControllers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the full registry")
+	}
+	bench, ok := mcd.LookupBenchmark("adpcm")
+	if !ok {
+		t.Fatal("adpcm missing from catalog")
+	}
+	cfg := mcd.DefaultConfig()
+	cfg.SlewNsPerMHz = 4.91
+	run := mcd.ControllerRun{
+		Config:         cfg,
+		Profile:        bench.Profile,
+		Window:         20_000,
+		Warmup:         8_000,
+		IntervalLength: 500,
+	}
+	// Keep the compound searches cheap; schemas without these
+	// parameters get no overrides.
+	params := map[string]mcd.ControllerParams{
+		"dynamic":   {"iters": 2},
+		"dynamic-1": {"iters": 2},
+		"dynamic-5": {"iters": 2},
+	}
+	for _, name := range mcd.ControllerNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := mcd.ControllerSpec(name, params[name], run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := json.Marshal(mcd.Run(spec))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// A fresh spec: controllers are stateful, one instance per run.
+			spec2, err := mcd.ControllerSpec(name, params[name], run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ses, err := mcd.Open(spec2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			intervals := 0
+			ses.Observe(func(mcd.Interval) { intervals++ })
+			for ses.Step(3) {
+			}
+			got, err := json.Marshal(ses.Close())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Errorf("stepped session result differs from mcd.Run:\n run: %s\nstep: %s", want, got)
+			}
+			if intervals == 0 {
+				t.Error("session emitted no measured intervals")
+			}
+		})
+	}
+}
