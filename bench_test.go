@@ -13,7 +13,20 @@ import (
 	"mcd/internal/bench"
 	"mcd/internal/clock"
 	"mcd/internal/hw"
+	"mcd/internal/sim"
 )
+
+// reportSimMIPS attaches simulated-instruction throughput to a benchmark
+// that ran real simulations: the delta of the process-wide retired
+// counter over the measured region divided by wall time. Cache hits and
+// memoized matrices simulate nothing, so a zero delta reports nothing
+// rather than a misleading number.
+func reportSimMIPS(b *testing.B, before uint64) {
+	delta := sim.SimulatedInstructions() - before
+	if s := b.Elapsed().Seconds(); delta > 0 && s > 0 {
+		b.ReportMetric(float64(delta)/1e6/s, "sim-MIPS")
+	}
+}
 
 // comparisons are expensive; share one matrix across the Table 6, Figure 4
 // and headline benchmarks.
@@ -128,6 +141,7 @@ func BenchmarkFig2LoadStoreTrace(b *testing.B) {
 	to := bench.TraceOptions{Options: bench.QuickOptions()}
 	to.Window = 150_000
 	to.Warmup = 20_000
+	before := sim.SimulatedInstructions()
 	var csv string
 	for i := 0; i < b.N; i++ {
 		res, err := to.Trace()
@@ -139,12 +153,14 @@ func BenchmarkFig2LoadStoreTrace(b *testing.B) {
 	if len(csv) == 0 {
 		b.Fatal("empty trace")
 	}
+	reportSimMIPS(b, before)
 }
 
 func BenchmarkFig3FloatingPointTrace(b *testing.B) {
 	to := bench.TraceOptions{Options: bench.QuickOptions()}
 	to.Window = 150_000
 	to.Warmup = 20_000
+	before := sim.SimulatedInstructions()
 	var res struct{ avgFP float64 }
 	for i := 0; i < b.N; i++ {
 		r, err := to.Trace()
@@ -154,12 +170,14 @@ func BenchmarkFig3FloatingPointTrace(b *testing.B) {
 		res.avgFP = r.AvgFreqMHz[clock.FloatingPoint]
 	}
 	b.ReportMetric(res.avgFP, "FP-avg-MHz")
+	reportSimMIPS(b, before)
 }
 
 func sweepBench(b *testing.B, run func(bench.Options) []bench.SweepPoint, metric string) {
 	b.Helper()
 	o := bench.QuickOptions()
 	o.Benchmarks = []string{"adpcm", "gzip", "power", "mcf"}
+	before := sim.SimulatedInstructions()
 	var pts []bench.SweepPoint
 	for i := 0; i < b.N; i++ {
 		pts = run(o)
@@ -174,6 +192,7 @@ func sweepBench(b *testing.B, run func(bench.Options) []bench.SweepPoint, metric
 		}
 	}
 	b.ReportMetric(best*100, metric)
+	reportSimMIPS(b, before)
 }
 
 func BenchmarkFig5TargetSweep(b *testing.B) {

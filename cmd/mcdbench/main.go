@@ -8,6 +8,9 @@
 //	mcdbench -exp table1|table2|table3|table4|table5   # static tables
 //	mcdbench -exp table6 -cache /var/cache/mcd   # reuse completed cells
 //	mcdbench -exp table6 -json     # machine-readable (wire.ExperimentResult)
+//	mcdbench -exp table6 -cpuprofile cpu.out     # pprof capture of the run
+//	mcdbench -benchjson                          # hot-path perf report (BENCH_5.json schema)
+//	mcdbench -benchjson -benchbaseline BENCH_5.json   # CI perf-regression gate
 package main
 
 import (
@@ -17,22 +20,46 @@ import (
 	"runtime"
 
 	"mcd/internal/bench"
+	"mcd/internal/prof"
 	"mcd/internal/wire"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "headline", "experiment: table1..table6, fig4, headline, all")
-		quick    = flag.Bool("quick", false, "reduced scale (subset of benchmarks, shorter windows)")
-		window   = flag.Uint64("window", 0, "override measured instructions per run")
-		warmup   = flag.Uint64("warmup", 0, "override warmup instructions per run")
-		benchF   = flag.String("bench", "", "comma-separated benchmark filter")
-		quiet    = flag.Bool("quiet", false, "suppress progress output")
-		workers  = flag.Int("workers", runtime.NumCPU(), "parallel simulation workers (results are identical for any value)")
-		cacheDir = flag.String("cache", "", "result-store directory: completed cells are reused across invocations")
-		jsonOut  = flag.Bool("json", false, "emit the machine-readable experiment encoding (as served by mcdserve)")
+		exp       = flag.String("exp", "headline", "experiment: table1..table6, fig4, headline, all")
+		quick     = flag.Bool("quick", false, "reduced scale (subset of benchmarks, shorter windows)")
+		window    = flag.Uint64("window", 0, "override measured instructions per run")
+		warmup    = flag.Uint64("warmup", 0, "override warmup instructions per run")
+		benchF    = flag.String("bench", "", "comma-separated benchmark filter")
+		quiet     = flag.Bool("quiet", false, "suppress progress output")
+		workers   = flag.Int("workers", runtime.NumCPU(), "parallel simulation workers (results are identical for any value)")
+		cacheDir  = flag.String("cache", "", "result-store directory: completed cells are reused across invocations")
+		jsonOut   = flag.Bool("json", false, "emit the machine-readable experiment encoding (as served by mcdserve)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (written on clean exit)")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on clean exit")
+		benchJSON = flag.Bool("benchjson", false, "run the hot-path perf benchmarks and print the JSON report (BENCH_5.json schema)")
+		baseline  = flag.String("benchbaseline", "", "with -benchjson: compare against this committed report and exit 1 on regression")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcdbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "mcdbench: %v\n", err)
+		}
+	}()
+
+	if *benchJSON {
+		code := runBenchJSON(*baseline)
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "mcdbench: %v\n", err)
+		}
+		os.Exit(code)
+	}
 
 	opts := bench.DefaultOptions()
 	if *quick {
@@ -85,4 +112,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mcdbench: unknown experiment %q\n", *exp)
 		os.Exit(1)
 	}
+}
+
+// runBenchJSON measures the hot-path benchmarks, prints the report, and
+// gates it against the committed baseline when one is given: the alloc
+// counts are exact; wall time only fails on a blowout (CI machines are
+// noisy — see bench.PerfReport.CheckAgainst for the tolerances).
+func runBenchJSON(baselinePath string) int {
+	report := bench.MeasurePerf()
+	out, err := report.Encode()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcdbench: %v\n", err)
+		return 1
+	}
+	os.Stdout.Write(out)
+	if baselinePath == "" {
+		return 0
+	}
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcdbench: %v\n", err)
+		return 1
+	}
+	base, err := bench.DecodePerfReport(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcdbench: %v\n", err)
+		return 1
+	}
+	if fails := report.CheckAgainst(base); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintf(os.Stderr, "mcdbench: perf regression: %s\n", f)
+		}
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "mcdbench: perf gate passed against %s\n", baselinePath)
+	return 0
 }

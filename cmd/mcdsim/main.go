@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"mcd"
+	"mcd/internal/prof"
 	"mcd/internal/resultcache"
 	"mcd/internal/wire"
 )
@@ -43,8 +44,21 @@ func main() {
 		slew     = flag.Float64("slew", 4.91, "regulator slew in ns/MHz (paper scale: 49.1)")
 		jsonOut  = flag.Bool("json", false, "emit the canonical machine-readable result encoding")
 		live     = flag.Bool("live", false, "print each control interval as it is produced (with -json: NDJSON stream frames)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (written on clean exit)")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on clean exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcdsim: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "mcdsim: %v\n", err)
+		}
+	}()
 
 	p, err := wire.ParseParams(*params)
 	if err != nil {

@@ -1,0 +1,64 @@
+package bench
+
+import "testing"
+
+func report(hotAllocs, singleAllocs uint64, hotNs, singleNs float64) PerfReport {
+	return PerfReport{
+		Schema: PerfSchema,
+		Benchmarks: map[string]PerfMeasurement{
+			"hot_loop":   {NsPerOp: hotNs, AllocsPerOp: hotAllocs},
+			"single_run": {NsPerOp: singleNs, AllocsPerOp: singleAllocs},
+		},
+	}
+}
+
+func TestPerfReportRoundTrip(t *testing.T) {
+	r := report(0, 46, 700_000, 250e6)
+	r.GoVersion, r.GOOS, r.GOARCH = "go1.24.0", "linux", "amd64"
+	b, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePerfReport(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmarks["single_run"].AllocsPerOp != 46 || got.Benchmarks["hot_loop"].NsPerOp != 700_000 {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	if _, err := DecodePerfReport([]byte(`{"schema":"other"}`)); err == nil {
+		t.Error("wrong schema accepted")
+	}
+}
+
+func TestPerfCheckAgainst(t *testing.T) {
+	base := report(0, 46, 700_000, 250e6)
+
+	if fails := base.CheckAgainst(base); len(fails) != 0 {
+		t.Errorf("identical report failed the gate: %v", fails)
+	}
+	// ns/op noise inside the tolerance passes; a blowout fails.
+	if fails := report(0, 46, 2_000_000, 600e6).CheckAgainst(base); len(fails) != 0 {
+		t.Errorf("in-tolerance wall-clock noise failed the gate: %v", fails)
+	}
+	if fails := report(0, 46, 700_000*nsTolerance*2, 250e6).CheckAgainst(base); len(fails) != 1 {
+		t.Errorf("wall-clock blowout not caught: %v", fails)
+	}
+	// The hot loop's alloc count is exact: one allocation regresses.
+	if fails := report(1, 46, 700_000, 250e6).CheckAgainst(base); len(fails) != 1 {
+		t.Errorf("hot-loop alloc regression not caught: %v", fails)
+	}
+	// single_run gets the GC/pool slack, no more.
+	if fails := report(0, 46+singleRunAllocSlack, 700_000, 250e6).CheckAgainst(base); len(fails) != 0 {
+		t.Errorf("in-slack single_run allocs failed the gate: %v", fails)
+	}
+	if fails := report(0, 46+singleRunAllocSlack+1, 700_000, 250e6).CheckAgainst(base); len(fails) != 1 {
+		t.Errorf("over-slack single_run allocs not caught: %v", fails)
+	}
+	// New benchmarks absent from the baseline are ignored.
+	extra := report(0, 46, 700_000, 250e6)
+	extra.Benchmarks["new_bench"] = PerfMeasurement{AllocsPerOp: 1000}
+	if fails := extra.CheckAgainst(base); len(fails) != 0 {
+		t.Errorf("unknown benchmark failed the gate: %v", fails)
+	}
+}

@@ -111,6 +111,21 @@ func New(cfg Config) *Predictor {
 	return p
 }
 
+// Reset returns every table to its freshly constructed state — counters
+// weakly not-taken, chooser weakly bimodal, BTB empty, stats zero —
+// reusing the allocations for a reused core.
+func (p *Predictor) Reset() {
+	clear(p.bimodal)
+	clear(p.history)
+	clear(p.pattern)
+	for i := range p.chooser {
+		p.chooser[i] = 1
+	}
+	clear(p.btb)
+	p.tick = 0
+	p.stats = Stats{}
+}
+
 func (p *Predictor) bimodalIdx(pc uint64) int { return int(pc>>2) & (p.cfg.BimodalSize - 1) }
 func (p *Predictor) l1Idx(pc uint64) int      { return int(pc>>2) & (p.cfg.L1Size - 1) }
 func (p *Predictor) chooserIdx(pc uint64) int { return int(pc>>2) & (p.cfg.ChooserSize - 1) }

@@ -73,6 +73,14 @@ func New(cfg Config) *Cache {
 // Config returns the cache geometry.
 func (c *Cache) Config() Config { return c.cfg }
 
+// Reset invalidates every line and zeroes the counters, returning the
+// cache to its freshly constructed state while reusing the tag arrays.
+func (c *Cache) Reset() {
+	clear(c.sets)
+	c.tick = 0
+	c.stats = Stats{}
+}
+
 // Access looks up addr, allocating the block on a miss, and reports whether
 // it hit. Reads and writes behave identically at this fidelity
 // (write-allocate; write-back traffic is not modeled).
@@ -148,6 +156,13 @@ func DefaultHierarchy() *Hierarchy {
 		L1D: New(Config{SizeBytes: 64 << 10, BlockBytes: 64, Assoc: 2}),
 		L2C: New(Config{SizeBytes: 1 << 20, BlockBytes: 64, Assoc: 1}),
 	}
+}
+
+// Reset invalidates all three caches for a reused core.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2C.Reset()
 }
 
 // Inst performs an instruction fetch access and returns the satisfying

@@ -74,7 +74,16 @@ type Clock struct {
 // New returns a clock running at freqMHz whose first edge occurs at
 // startPS. Jitter is disabled when sigmaPS is zero or rng is nil.
 func New(freqMHz, sigmaPS, startPS float64, rng *rand.Rand) *Clock {
-	c := &Clock{
+	c := &Clock{}
+	c.Reset(freqMHz, sigmaPS, startPS, rng)
+	return c
+}
+
+// Reset reinitializes the clock in place, exactly as New would construct
+// it (the first jitter sample is drawn here, in constructor order), so a
+// reused pipeline core is indistinguishable from a fresh one.
+func (c *Clock) Reset(freqMHz, sigmaPS, startPS float64, rng *rand.Rand) {
+	*c = Clock{
 		periodPS: PeriodPS(freqMHz),
 		basePS:   startPS,
 		lastPS:   math.Inf(-1),
@@ -82,7 +91,6 @@ func New(freqMHz, sigmaPS, startPS float64, rng *rand.Rand) *Clock {
 		rng:      rng,
 	}
 	c.jitPS = c.sampleJitter()
-	return c
 }
 
 func (c *Clock) sampleJitter() float64 {
@@ -111,11 +119,18 @@ func (c *Clock) LastEdge() float64 { return c.lastPS }
 // returns the time of the consumed edge.
 func (c *Clock) Advance() float64 {
 	edge := c.NextEdge()
+	c.advanceFrom(edge)
+	return edge
+}
+
+// advanceFrom consumes the pending edge, whose time the caller already
+// computed via NextEdge (the scheduler caches it), and schedules the
+// following one.
+func (c *Clock) advanceFrom(edge float64) {
 	c.lastPS = edge
 	c.basePS += c.periodPS
 	c.jitPS = c.sampleJitter()
 	c.cycles++
-	return edge
 }
 
 // SetFrequencyMHz changes the clock frequency. The change takes effect for
@@ -142,9 +157,15 @@ func Visible(producedPS, edgePS, windowPS float64) bool {
 }
 
 // Scheduler multiplexes the domain clocks, always surfacing the earliest
-// pending edge. With a handful of clocks a linear scan beats a heap.
+// pending edge. With a handful of clocks a linear scan beats a heap; the
+// scan runs over a flat cache of each clock's pending-edge time, refreshed
+// whenever a clock is advanced or retargeted, so the per-cycle hot path
+// touches no clock state at all. Mutations must therefore go through the
+// scheduler (Advance, SetFrequencyMHz) — or call Refresh after mutating a
+// clock directly.
 type Scheduler struct {
 	clocks []*Clock
+	next   []float64 // cached NextEdge of each clock
 }
 
 // NewScheduler builds a scheduler over per-domain clocks indexed by Domain.
@@ -154,20 +175,39 @@ func NewScheduler(clocks []*Clock) *Scheduler {
 	if len(clocks) == 0 {
 		panic("clock: scheduler needs at least one clock")
 	}
-	return &Scheduler{clocks: clocks}
+	s := &Scheduler{clocks: clocks, next: make([]float64, len(clocks))}
+	s.Refresh()
+	return s
+}
+
+// Refresh recomputes the cached pending-edge times from the clocks — for
+// a reused scheduler whose clocks were Reset, or after direct clock
+// mutation.
+func (s *Scheduler) Refresh() {
+	for d := range s.clocks {
+		s.next[d] = s.clocks[d].NextEdge()
+	}
 }
 
 // Clock returns the clock for domain d.
 func (s *Scheduler) Clock(d Domain) *Clock { return s.clocks[d] }
+
+// SetFrequencyMHz changes domain d's clock frequency (taking effect for
+// the next scheduled period, like Clock.SetFrequencyMHz) and keeps the
+// pending-edge cache coherent.
+func (s *Scheduler) SetFrequencyMHz(d Domain, f float64) {
+	s.clocks[d].SetFrequencyMHz(f)
+	s.next[d] = s.clocks[d].NextEdge()
+}
 
 // Peek returns the domain whose next edge is earliest and that edge's time.
 // Ties break toward the lowest-numbered domain, which gives the front end
 // priority at aligned edges (e.g. in fully synchronous configurations).
 func (s *Scheduler) Peek() (Domain, float64) {
 	best := Domain(0)
-	bestT := s.clocks[0].NextEdge()
-	for d := 1; d < len(s.clocks); d++ {
-		if t := s.clocks[d].NextEdge(); t < bestT {
+	bestT := s.next[0]
+	for d := 1; d < len(s.next); d++ {
+		if t := s.next[d]; t < bestT {
 			best, bestT = Domain(d), t
 		}
 	}
@@ -176,6 +216,9 @@ func (s *Scheduler) Peek() (Domain, float64) {
 
 // Advance consumes the earliest pending edge and returns its domain and time.
 func (s *Scheduler) Advance() (Domain, float64) {
-	d, _ := s.Peek()
-	return d, s.clocks[d].Advance()
+	d, t := s.Peek()
+	c := s.clocks[d]
+	c.advanceFrom(t)
+	s.next[d] = c.NextEdge()
+	return d, t
 }

@@ -63,8 +63,16 @@ func (s *Scale) MaxFreqMHz() float64 { return s.fmax }
 func (s *Scale) StepMHz() float64 { return (s.fmax - s.fmin) / float64(s.n-1) }
 
 // Clamp restricts f to the legal frequency range without quantizing.
+// Plain comparisons, not math.Min/Max: frequencies are finite, and Clamp
+// sits on the regulator's per-edge voltage path.
 func (s *Scale) Clamp(fMHz float64) float64 {
-	return math.Min(s.fmax, math.Max(s.fmin, fMHz))
+	if fMHz < s.fmin {
+		return s.fmin
+	}
+	if fMHz > s.fmax {
+		return s.fmax
+	}
+	return fMHz
 }
 
 // Quantize returns the operating point nearest to fMHz, clamped to range.
@@ -98,13 +106,29 @@ type Regulator struct {
 	targetMHz    float64
 	slewNsPerMHz float64
 	transitions  uint64
+	// voltage caches VoltageAt(currentMHz): the pipeline reads the supply
+	// voltage every domain tick, but it only changes when the frequency
+	// slews, so it is recomputed on frequency change instead of per read.
+	voltage float64
 }
 
 // NewRegulator returns a regulator pinned at startMHz (quantized) using the
 // given slew rate. A slew rate of zero makes changes instantaneous.
 func NewRegulator(scale *Scale, startMHz, slewNsPerMHz float64) *Regulator {
-	f := scale.Quantize(startMHz).FreqMHz
-	return &Regulator{scale: scale, currentMHz: f, targetMHz: f, slewNsPerMHz: slewNsPerMHz}
+	r := &Regulator{scale: scale}
+	r.Reset(startMHz, slewNsPerMHz)
+	return r
+}
+
+// Reset re-pins the regulator at startMHz with the given slew rate,
+// exactly as NewRegulator would construct it, reusing the operating-point
+// table.
+func (r *Regulator) Reset(startMHz, slewNsPerMHz float64) {
+	f := r.scale.Quantize(startMHz).FreqMHz
+	r.currentMHz, r.targetMHz = f, f
+	r.slewNsPerMHz = slewNsPerMHz
+	r.transitions = 0
+	r.voltage = r.scale.VoltageAt(f)
 }
 
 // Scale returns the operating-point table this regulator quantizes against.
@@ -129,7 +153,7 @@ func (r *Regulator) TargetMHz() float64 { return r.targetMHz }
 func (r *Regulator) CurrentMHz() float64 { return r.currentMHz }
 
 // Voltage returns the instantaneous supply voltage.
-func (r *Regulator) Voltage() float64 { return r.scale.VoltageAt(r.currentMHz) }
+func (r *Regulator) Voltage() float64 { return r.voltage }
 
 // Transitioning reports whether a frequency change is still in progress.
 func (r *Regulator) Transitioning() bool { return r.currentMHz != r.targetMHz }
@@ -148,13 +172,25 @@ func (r *Regulator) Step(dtPS float64) float64 {
 	}
 	if r.slewNsPerMHz <= 0 {
 		r.currentMHz = r.targetMHz
-		return r.currentMHz
-	}
-	dMHz := (dtPS / 1000) / r.slewNsPerMHz
-	if r.currentMHz < r.targetMHz {
-		r.currentMHz = math.Min(r.targetMHz, r.currentMHz+dMHz)
 	} else {
-		r.currentMHz = math.Max(r.targetMHz, r.currentMHz-dMHz)
+		// Plain comparisons instead of math.Min/Max: every operand is a
+		// finite frequency, so the NaN/signed-zero handling is dead cost
+		// on the per-edge path.
+		dMHz := (dtPS / 1000) / r.slewNsPerMHz
+		if r.currentMHz < r.targetMHz {
+			if f := r.currentMHz + dMHz; f < r.targetMHz {
+				r.currentMHz = f
+			} else {
+				r.currentMHz = r.targetMHz
+			}
+		} else {
+			if f := r.currentMHz - dMHz; f > r.targetMHz {
+				r.currentMHz = f
+			} else {
+				r.currentMHz = r.targetMHz
+			}
+		}
 	}
+	r.voltage = r.scale.VoltageAt(r.currentMHz)
 	return r.currentMHz
 }

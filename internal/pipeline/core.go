@@ -36,22 +36,51 @@ func writesInt(c workload.Class) bool {
 // writesFP reports whether the class allocates an FP rename register.
 func writesFP(c workload.Class) bool { return c.FP() }
 
+// Issue-pipe class sets. Dispatch routes only IntALU, IntMul and Branch
+// to the integer queue and only the FP classes to the FP queue, so these
+// masks reproduce the per-pipe predicates (e.g. "anything but IntMul" on
+// the integer ALUs) without a per-entry indirect call in the CAM scan.
+var (
+	intALUClasses = queue.MaskOf(workload.IntALU, workload.Branch)
+	intMulClasses = queue.MaskOf(workload.IntMul)
+	fpALUClasses  = queue.MaskOf(workload.FPAdd)
+	fpMulClasses  = queue.MaskOf(workload.FPMul, workload.FPDiv)
+)
+
 type storeRec struct {
 	block  uint64
 	issued bool
 }
 
-// Core is one simulated processor instance. It is single-use: construct,
-// then either Run once, or Start once, advance with StepIntervals and
-// read the Result from Finish.
+// Core is one simulated processor instance. Construct with New, then
+// either Run once, or Start once, advance with StepIntervals and read the
+// Result from Finish. A finished core can be recycled for another run
+// with Reset — table-sized structures (predictor, caches, queues, the
+// completion ring) are reused instead of reallocated, which is what the
+// harness's core pool rides on.
 type Core struct {
 	cfg  Config
 	gen  workload.Generator
 	opts RunOptions
 
+	scale *dvfs.Scale
 	sched *clock.Scheduler
 	regs  [clock.NumControllable]*dvfs.Regulator
+	clks  [clock.NumControllable]*clock.Clock
+	jrng  [clock.NumControllable]*rand.Rand
 	last  [clock.NumControllable]float64
+
+	// curFreq mirrors each domain clock's programmed frequency so the
+	// per-edge regulator step only reprograms the clock (a division plus
+	// an edge-cache refresh) when the frequency actually moved.
+	curFreq [clock.NumControllable]float64
+	// periods mirrors each domain clock's current period; every
+	// visibility test reads it instead of chasing clock pointers. It is
+	// the same float64 the clock holds, so results are unchanged.
+	periods [clock.NumControllable]float64
+	// wake is the per-tick wakeup context handed to the issue-queue CAM
+	// scans; Periods aliases c.periods and Ring the completion ring.
+	wake queue.Wakeup
 
 	meter *power.Meter
 	pred  *branch.Predictor
@@ -88,7 +117,6 @@ type Core struct {
 	marked     bool
 	markTime   float64
 	markEnergy [clock.NumDomains]float64
-	markClock  float64
 
 	// Interval accumulation.
 	ivStart  float64
@@ -100,6 +128,7 @@ type Core struct {
 	freqIntegral [clock.NumControllable]float64
 
 	selBuf   []queue.Entry
+	selBuf2  []queue.Entry
 	storeBuf []storeRec
 
 	intervals []stats.Interval
@@ -108,6 +137,48 @@ type Core struct {
 // New builds a core over the given workload generator.
 func New(cfg Config, gen workload.Generator) *Core {
 	return &Core{cfg: cfg, gen: gen, branchSeq: -1}
+}
+
+// Reset recycles a finished core for a new run over cfg and gen: all run
+// state is returned to the freshly constructed state, but component
+// allocations (predictor and cache tables, queues, the completion ring,
+// clocks and regulators) are reused by the following Start. A Reset core
+// produces byte-identical results to a New one — the byte-identity suite
+// pins this across the whole controller registry.
+func (c *Core) Reset(cfg Config, gen workload.Generator) {
+	c.cfg, c.gen = cfg, gen
+	c.opts = RunOptions{}
+	c.last = [clock.NumControllable]float64{}
+	c.pending = workload.Instr{}
+	c.havePend, c.genDone = false, false
+	c.fetchStall = 0
+	c.branchSeq = -1
+	c.fetchBlock = 0
+	c.retired, c.lastRetire = 0, 0
+	c.total = 0
+	c.now = 0
+	c.emitted = 0
+	c.halted = false
+	c.marked, c.markTime = false, 0
+	c.markEnergy = [clock.NumDomains]float64{}
+	c.ivStart, c.ivIndex = 0, 0
+	c.occupSum = [clock.NumControllable]float64{}
+	c.ivTicks = [clock.NumControllable]float64{}
+	c.nextIvAt = 0
+	c.freqIntegral = [clock.NumControllable]float64{}
+	// The previous Result owns the recorded intervals; never reuse them.
+	c.intervals = nil
+}
+
+// Release drops the finished run's object references — the generator,
+// the options (controller and observer hooks), and the recorded
+// intervals — so an idle pooled core retains none of the previous run's
+// object graph. Reset + Start rebuild all of it; only Finish/Progress
+// become unusable until then.
+func (c *Core) Release() {
+	c.gen = nil
+	c.opts = RunOptions{}
+	c.intervals = nil
 }
 
 // Run simulates until opts.Window instructions retire (or the workload is
@@ -122,8 +193,8 @@ func (c *Core) Run(opts RunOptions) stats.Result {
 }
 
 // Start initializes the core for stepped execution: clocks, regulators,
-// queues and accumulators are built, but no cycle executes until
-// StepIntervals.
+// queues and accumulators are built (or, after Reset, reused in place),
+// but no cycle executes until StepIntervals.
 func (c *Core) Start(opts RunOptions) {
 	c.opts = opts
 	if c.opts.IntervalLength == 0 {
@@ -131,8 +202,9 @@ func (c *Core) Start(opts RunOptions) {
 	}
 	cfg := c.cfg
 
-	scale := dvfs.DefaultScale()
-	clocks := make([]*clock.Clock, clock.NumControllable)
+	if c.scale == nil {
+		c.scale = dvfs.DefaultScale()
+	}
 	jitter := cfg.JitterPS
 	if cfg.SingleClock {
 		jitter = 0
@@ -142,27 +214,85 @@ func (c *Core) Start(opts RunOptions) {
 		if f == 0 {
 			f = cfg.MaxFreqMHz
 		}
-		c.regs[d] = dvfs.NewRegulator(scale, f, cfg.SlewNsPerMHz)
+		if c.regs[d] == nil {
+			c.regs[d] = dvfs.NewRegulator(c.scale, f, cfg.SlewNsPerMHz)
+		} else {
+			c.regs[d].Reset(f, cfg.SlewNsPerMHz)
+		}
 		// All PLLs derive from one reference oscillator, so domain clocks
 		// start phase aligned; window violations then come from jitter
 		// and inter-domain rate differences, the two penalty sources the
 		// paper's clocking model describes.
 		var jrng *rand.Rand
 		if jitter > 0 {
-			jrng = rand.New(rand.NewSource(cfg.Seed + int64(d)*7919))
+			seed := cfg.Seed + int64(d)*7919
+			if c.jrng[d] == nil {
+				c.jrng[d] = rand.New(rand.NewSource(seed))
+			} else {
+				c.jrng[d].Seed(seed)
+			}
+			jrng = c.jrng[d]
 		}
-		clocks[d] = clock.New(c.regs[d].CurrentMHz(), jitter, 0, jrng)
+		if c.clks[d] == nil {
+			c.clks[d] = clock.New(c.regs[d].CurrentMHz(), jitter, 0, jrng)
+		} else {
+			c.clks[d].Reset(c.regs[d].CurrentMHz(), jitter, 0, jrng)
+		}
+		c.curFreq[d] = c.clks[d].FrequencyMHz()
+		c.periods[d] = c.clks[d].PeriodPS()
 	}
-	c.sched = clock.NewScheduler(clocks)
+	if c.sched == nil {
+		c.sched = clock.NewScheduler(c.clks[:])
+	} else {
+		c.sched.Refresh()
+	}
 
-	c.meter = power.NewMeter(power.DefaultParams(), !cfg.SingleClock)
-	c.pred = branch.New(branch.DefaultConfig())
-	c.hier = cache.DefaultHierarchy()
-	c.iiq = queue.NewIssueQueue(cfg.IntIQSize)
-	c.fiq = queue.NewIssueQueue(cfg.FPIQSize)
-	c.lsq = queue.NewLSQ(cfg.LSQSize, cfg.CacheBlockBytes)
-	c.rob = queue.NewROB(cfg.ROBSize)
-	c.ring = queue.NewCompletionRing(1024)
+	if c.meter == nil {
+		c.meter = power.NewMeter(power.DefaultParams(), !cfg.SingleClock)
+	} else {
+		c.meter.Reset(power.DefaultParams(), !cfg.SingleClock)
+	}
+	if c.pred == nil {
+		c.pred = branch.New(branch.DefaultConfig())
+	} else {
+		c.pred.Reset()
+	}
+	if c.hier == nil {
+		c.hier = cache.DefaultHierarchy()
+	} else {
+		c.hier.Reset()
+	}
+	if c.iiq == nil {
+		c.iiq = queue.NewIssueQueue(cfg.IntIQSize)
+	} else {
+		c.iiq.Reset(cfg.IntIQSize)
+	}
+	if c.fiq == nil {
+		c.fiq = queue.NewIssueQueue(cfg.FPIQSize)
+	} else {
+		c.fiq.Reset(cfg.FPIQSize)
+	}
+	if c.lsq == nil {
+		c.lsq = queue.NewLSQ(cfg.LSQSize, cfg.CacheBlockBytes)
+	} else {
+		c.lsq.Reset(cfg.LSQSize, cfg.CacheBlockBytes)
+	}
+	if c.rob == nil {
+		c.rob = queue.NewROB(cfg.ROBSize)
+	} else {
+		c.rob.Reset(cfg.ROBSize)
+	}
+	if c.ring == nil {
+		c.ring = queue.NewCompletionRing(1024)
+	} else {
+		c.ring.Reset()
+	}
+	c.wake = queue.Wakeup{
+		SingleClock:  cfg.SingleClock,
+		SyncWindowPS: cfg.SyncWindowPS,
+		Periods:      c.periods,
+		Ring:         c.ring,
+	}
 	c.intRegsFree = cfg.IntRenameRegs
 	c.fpRegsFree = cfg.FPRenameRegs
 	c.nextIvAt = c.opts.IntervalLength
@@ -170,6 +300,12 @@ func (c *Core) Start(opts RunOptions) {
 		c.marked = true
 	}
 	c.total = opts.Warmup + opts.Window
+	if opts.RecordIntervals {
+		// Pre-size the recording from the known interval count so the
+		// steady-state loop never grows it (+1 for the possible final
+		// partial boundary overshoot).
+		c.intervals = make([]stats.Interval, 0, opts.Window/c.opts.IntervalLength+1)
+	}
 }
 
 // StepIntervals advances the simulation until at least n more control
@@ -191,7 +327,15 @@ func (c *Core) StepIntervals(n int) bool {
 			dt = 0
 		}
 		f := c.regs[d].Step(dt)
-		c.sched.Clock(d).SetFrequencyMHz(f)
+		if f != c.curFreq[d] {
+			// Reprogramming the PLL (and refreshing the edge cache) is
+			// only needed when the regulator actually moved; a settled
+			// regulator returns the frequency the clock already runs at.
+			c.curFreq[d] = f
+			c.sched.SetFrequencyMHz(d, f)
+			c.periods[d] = c.clks[d].PeriodPS()
+			c.wake.Periods[d] = c.periods[d]
+		}
 		c.freqIntegral[d] += f * dt
 		c.last[d] = t
 
@@ -226,6 +370,11 @@ func (c *Core) StepIntervals(n int) bool {
 // sim.Session.StopWhen. Safe to call from an OnInterval observer (the
 // in-flight cycle completes first).
 func (c *Core) Halt() { c.halted = true }
+
+// Retired reports the total instructions retired so far, warmup included
+// — the simulated-work denominator behind the harness's throughput
+// accounting.
+func (c *Core) Retired() uint64 { return c.retired }
 
 // Progress reports the measured aggregates accumulated so far; all but
 // the regulator targets are zero until warmup completes.
@@ -305,7 +454,9 @@ func (c *Core) peek() (*workload.Instr, bool) {
 // requires the destination edge to trail that launch by the
 // synchronization window. Penalties therefore arise from window
 // violations (clock jitter) and from inter-domain rate differences — the
-// two sources the paper's clocking model describes.
+// two sources the paper's clocking model describes. The issue-queue CAM
+// scans evaluate the same rule through queue.Wakeup, over the same
+// periods table.
 func (c *Core) xvisible(done float64, from, to clock.Domain) float64 {
 	if c.cfg.SingleClock || from == to {
 		// Completion times are computed as issue edge + latency×period,
@@ -313,19 +464,9 @@ func (c *Core) xvisible(done float64, from, to clock.Domain) float64 {
 		// edge carries its own; a half-cycle guard keeps the edge-count
 		// semantics (back-to-back issue at the L-th following edge)
 		// independent of jitter.
-		return done - 0.5*c.sched.Clock(from).PeriodPS()
+		return done - 0.5*c.periods[from]
 	}
-	return done - c.sched.Clock(from).PeriodPS() + c.cfg.SyncWindowPS
-}
-
-// srcReady reports whether producer src's result is visible in domain at
-// time now.
-func (c *Core) srcReady(src int64, domain clock.Domain, now float64) bool {
-	if src < 0 {
-		return true
-	}
-	done, prodDom := c.ring.Lookup(uint64(src))
-	return now >= c.xvisible(done, clock.Domain(prodDom), domain)
+	return done - c.periods[from] + c.cfg.SyncWindowPS
 }
 
 func (c *Core) complete(seq uint64, at float64) {
@@ -383,7 +524,7 @@ func (c *Core) feTick(t float64) {
 		done, dom := c.ring.Lookup(uint64(c.branchSeq))
 		if !math.IsInf(done, 1) {
 			resume := c.xvisible(done, clock.Domain(dom), clock.FrontEnd) +
-				float64(c.cfg.MispredictPenalty)*c.sched.Clock(clock.FrontEnd).PeriodPS()
+				float64(c.cfg.MispredictPenalty)*c.periods[clock.FrontEnd]
 			if t >= resume {
 				c.branchSeq = -1
 			}
@@ -441,7 +582,7 @@ func (c *Core) fetch(t float64, v float64, active *bool) {
 				c.meter.Access(power.L2Cache, lsV, 1)
 			}
 			if lvl != cache.L1 {
-				lsPeriod := c.sched.Clock(clock.LoadStore).PeriodPS()
+				lsPeriod := c.periods[clock.LoadStore]
 				var cross float64
 				if !cfg.SingleClock {
 					cross = 2 * cfg.SyncWindowPS // request and fill crossings
@@ -465,7 +606,7 @@ func (c *Core) fetch(t float64, v float64, active *bool) {
 		// (one-cycle dispatch-to-issue in the synchronous machine); across
 		// clock domains the interface FIFO additionally imposes the
 		// synchronization window on that edge.
-		vis := t + 0.5*c.sched.Clock(clock.FrontEnd).PeriodPS()
+		vis := t + 0.5*c.periods[clock.FrontEnd]
 		if !c.cfg.SingleClock {
 			vis = t + c.cfg.SyncWindowPS
 		}
@@ -517,36 +658,32 @@ func (c *Core) fetch(t float64, v float64, active *bool) {
 func (c *Core) intTick(t float64) {
 	d := clock.Integer
 	v := c.regs[d].Voltage()
-	period := c.sched.Clock(d).PeriodPS()
+	period := c.periods[d]
 	occ := c.iiq.Len()
 	c.occupSum[d] += float64(occ)
 	c.ivTicks[d]++
 	c.meter.Access(power.IntCAM, v, occ)
 
-	issued := 0
-	ready := func(e *queue.Entry) bool {
-		return e.VisibleAt <= t && c.srcReady(e.Src1, d, t) && c.srcReady(e.Src2, d, t)
-	}
-
-	c.selBuf = c.iiq.Select(c.cfg.IntALUs, func(e *queue.Entry) bool {
-		return e.Class != workload.IntMul && ready(e)
-	}, c.selBuf[:0])
+	c.wake.SetTick(t, uint8(d))
+	// One fused CAM walk selects both pipes (the class sets are
+	// disjoint); the ALU selections are processed before the multiplier
+	// ones, exactly as the two-pass formulation did. Completions stamped
+	// here cannot flip a later readiness test in the same walk: a
+	// latency of ≥1 producer cycle puts every bypass point after t.
+	c.selBuf, c.selBuf2 = c.iiq.SelectReady2(
+		c.cfg.IntALUs, intALUClasses, c.cfg.IntMuls, intMulClasses,
+		&c.wake, c.selBuf[:0], c.selBuf2[:0])
 	for i := range c.selBuf {
 		e := &c.selBuf[i]
 		c.complete(e.Seq, t+float64(c.cfg.IntALULat)*period)
 		c.chargeIssue(power.IntIQ, power.IntRF, power.IntALU, v, e.Src1, e.Src2, e.Class != workload.Branch)
 	}
-	issued += len(c.selBuf)
-
-	c.selBuf = c.iiq.Select(c.cfg.IntMuls, func(e *queue.Entry) bool {
-		return e.Class == workload.IntMul && ready(e)
-	}, c.selBuf[:0])
-	for i := range c.selBuf {
-		e := &c.selBuf[i]
+	for i := range c.selBuf2 {
+		e := &c.selBuf2[i]
 		c.complete(e.Seq, t+float64(c.cfg.IntMulLat)*period)
 		c.chargeIssue(power.IntIQ, power.IntRF, power.IntMul, v, e.Src1, e.Src2, true)
 	}
-	issued += len(c.selBuf)
+	issued := len(c.selBuf) + len(c.selBuf2)
 
 	c.meter.ClockTick(d, v, issued > 0 || occ > 0)
 }
@@ -575,32 +712,24 @@ func (c *Core) chargeIssue(iq, rf, fu power.Component, v float64, s1, s2 int64, 
 func (c *Core) fpTick(t float64) {
 	d := clock.FloatingPoint
 	v := c.regs[d].Voltage()
-	period := c.sched.Clock(d).PeriodPS()
+	period := c.periods[d]
 	occ := c.fiq.Len()
 	c.occupSum[d] += float64(occ)
 	c.ivTicks[d]++
 	c.meter.Access(power.FPCAM, v, occ)
 
-	issued := 0
-	ready := func(e *queue.Entry) bool {
-		return e.VisibleAt <= t && c.srcReady(e.Src1, d, t) && c.srcReady(e.Src2, d, t)
-	}
-
-	c.selBuf = c.fiq.Select(c.cfg.FPALUs, func(e *queue.Entry) bool {
-		return e.Class == workload.FPAdd && ready(e)
-	}, c.selBuf[:0])
+	c.wake.SetTick(t, uint8(d))
+	// Fused two-pipe walk; see intTick for the ordering argument.
+	c.selBuf, c.selBuf2 = c.fiq.SelectReady2(
+		c.cfg.FPALUs, fpALUClasses, c.cfg.FPMuls, fpMulClasses,
+		&c.wake, c.selBuf[:0], c.selBuf2[:0])
 	for i := range c.selBuf {
 		e := &c.selBuf[i]
 		c.complete(e.Seq, t+float64(c.cfg.FPALULat)*period)
 		c.chargeIssue(power.FPIQ, power.FPRF, power.FPALU, v, e.Src1, e.Src2, true)
 	}
-	issued += len(c.selBuf)
-
-	c.selBuf = c.fiq.Select(c.cfg.FPMuls, func(e *queue.Entry) bool {
-		return (e.Class == workload.FPMul || e.Class == workload.FPDiv) && ready(e)
-	}, c.selBuf[:0])
-	for i := range c.selBuf {
-		e := &c.selBuf[i]
+	for i := range c.selBuf2 {
+		e := &c.selBuf2[i]
 		lat := c.cfg.FPMulLat
 		if e.Class == workload.FPDiv {
 			lat = c.cfg.FPDivLat
@@ -608,7 +737,7 @@ func (c *Core) fpTick(t float64) {
 		c.complete(e.Seq, t+float64(lat)*period)
 		c.chargeIssue(power.FPIQ, power.FPRF, power.FPMul, v, e.Src1, e.Src2, true)
 	}
-	issued += len(c.selBuf)
+	issued := len(c.selBuf) + len(c.selBuf2)
 
 	c.meter.ClockTick(d, v, issued > 0 || occ > 0)
 }
@@ -618,7 +747,7 @@ func (c *Core) fpTick(t float64) {
 func (c *Core) lsTick(t float64) {
 	d := clock.LoadStore
 	v := c.regs[d].Voltage()
-	period := c.sched.Clock(d).PeriodPS()
+	period := c.periods[d]
 	entries := c.lsq.Entries()
 	occ := len(entries)
 	c.occupSum[d] += float64(occ)
@@ -629,12 +758,20 @@ func (c *Core) lsTick(t float64) {
 	issuedAny := false
 	c.storeBuf = c.storeBuf[:0]
 	allIssued := true // all older stores issued so far in the scan
+	c.wake.SetTick(t, uint8(d))
+	wk := c.wake // registerized copy, as in the issue-queue scans
 
 	for i := range entries {
 		e := &entries[i]
+		if ports == 0 {
+			// No port can issue anything further this cycle, and the
+			// rest of the scan only feeds the forwarding buffer loads
+			// would read — nothing below can have an effect. Stop.
+			break
+		}
 		if e.IsStore {
-			if !e.Issued && ports > 0 && e.VisibleAt <= t &&
-				c.srcReady(e.Src1, d, t) && c.srcReady(e.Src2, d, t) {
+			if !e.Issued && e.VisibleAt <= t &&
+				wk.SrcReady(e.Src1) && wk.SrcReady(e.Src2) {
 				// Address resolution; data is written at retirement, but
 				// the access energy belongs to the store.
 				e.Issued = true
@@ -656,10 +793,10 @@ func (c *Core) lsTick(t float64) {
 			continue
 		}
 
-		if e.Issued || ports == 0 {
+		if e.Issued {
 			continue
 		}
-		if e.VisibleAt > t || !c.srcReady(e.Src1, d, t) || !c.srcReady(e.Src2, d, t) {
+		if e.VisibleAt > t || !wk.SrcReady(e.Src1) || !wk.SrcReady(e.Src2) {
 			continue
 		}
 		// Loads wait until every older store address is known, then
@@ -712,7 +849,6 @@ func (c *Core) mark(t float64) {
 	for d := clock.Domain(0); d < clock.NumDomains; d++ {
 		c.markEnergy[d] = c.meter.DomainPJ(d)
 	}
-	c.markClock = c.meter.ClockPJ()
 	c.ivStart = t
 	c.ivIndex = 0
 	c.nextIvAt = c.retired + c.opts.IntervalLength

@@ -1,0 +1,136 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"mcd/internal/clock"
+	"mcd/internal/pipeline"
+	"mcd/internal/workload"
+)
+
+// perfProfile is the workload the hot-loop measurements run: a mixed
+// int/FP/memory phase script so every domain tick path (and the LSQ
+// store-scan) is exercised.
+func perfProfile() workload.Profile {
+	b, ok := workload.Lookup("epic")
+	if !ok {
+		panic("perf: benchmark epic missing from catalog")
+	}
+	return b.Profile
+}
+
+// stepController is a minimal allocation-free controller that retargets
+// two domains every interval, keeping the regulator slew and voltage
+// paths hot without the full Attack/Decay bookkeeping.
+type stepController struct{ flip bool }
+
+func (s *stepController) Name() string { return "perf-step" }
+
+func (s *stepController) Observe(iv pipeline.IntervalView) (t [clock.NumControllable]float64) {
+	s.flip = !s.flip
+	if s.flip {
+		t[clock.FloatingPoint] = 500
+		t[clock.LoadStore] = 750
+	} else {
+		t[clock.FloatingPoint] = 1000
+		t[clock.LoadStore] = 1000
+	}
+	return t
+}
+
+const (
+	perfWindow   = 120_000
+	perfWarmup   = 60_000
+	perfInterval = 500
+)
+
+func perfOptions() pipeline.RunOptions {
+	return pipeline.RunOptions{
+		Window:         perfWindow,
+		Warmup:         perfWarmup,
+		IntervalLength: perfInterval,
+		Controller:     &stepController{},
+		ConfigName:     "perf",
+	}
+}
+
+// BenchmarkHotLoop measures the cycle engine alone: one QuickOptions-scale
+// run per iteration, no session/harness layers. simulated-MIPS is retired
+// instructions (warmup included — those cycles are simulated too) per
+// wall-clock second.
+func BenchmarkHotLoop(b *testing.B) {
+	prof := perfProfile()
+	cfg := pipeline.DefaultConfig()
+	cfg.SlewNsPerMHz = 4.91
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := pipeline.New(cfg, prof.NewGenerator(perfWarmup+perfWindow))
+		res := c.Run(perfOptions())
+		if res.Instructions != perfWindow {
+			b.Fatalf("run retired %d measured instructions, want %d", res.Instructions, perfWindow)
+		}
+	}
+	b.StopTimer()
+	reportMIPS(b, float64(perfWarmup+perfWindow)*float64(b.N))
+}
+
+// BenchmarkHotLoopReuse is BenchmarkHotLoop over one reused core: the
+// steady-state cost of a grid cell once construction is amortized away.
+func BenchmarkHotLoopReuse(b *testing.B) {
+	prof := perfProfile()
+	cfg := pipeline.DefaultConfig()
+	cfg.SlewNsPerMHz = 4.91
+	c := pipeline.New(cfg, prof.NewGenerator(perfWarmup+perfWindow))
+	gen := prof.NewGenerator(perfWarmup + perfWindow)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Reset()
+		c.Reset(cfg, gen)
+		res := c.Run(perfOptions())
+		if res.Instructions != perfWindow {
+			b.Fatalf("run retired %d measured instructions, want %d", res.Instructions, perfWindow)
+		}
+	}
+	b.StopTimer()
+	reportMIPS(b, float64(perfWarmup+perfWindow)*float64(b.N))
+}
+
+func reportMIPS(b *testing.B, instructions float64) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(instructions/1e6/s, "sim-MIPS")
+	}
+}
+
+// TestStepIntervalsZeroAllocs pins the tentpole invariant of PR 5: after
+// warmup, the cycle engine's steady state allocates nothing — stepping,
+// controller observation and interval recording included. The interval
+// buffer is pre-sized from Window/IntervalLength at Start, so recording
+// does not grow it.
+func TestStepIntervalsZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	prof := perfProfile()
+	cfg := pipeline.DefaultConfig()
+	cfg.SlewNsPerMHz = 4.91
+	opts := perfOptions()
+	opts.RecordIntervals = true
+	c := pipeline.New(cfg, prof.NewGenerator(perfWarmup+perfWindow))
+	c.Start(opts)
+	// Drain the warmup region plus a few measured intervals so caches,
+	// predictor and the interval buffer are all in steady state.
+	warmIv := perfWarmup/perfInterval + 8
+	if !c.StepIntervals(int(warmIv)) {
+		t.Fatal("run completed during warmup stepping")
+	}
+	allocs := testing.AllocsPerRun(64, func() {
+		if !c.StepIntervals(1) {
+			t.Fatal("run completed inside the measured steps")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("StepIntervals allocated %.1f objects per interval in steady state, want 0", allocs)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package pipeline_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation guard skips under -race, whose instrumentation allocates.
+const raceEnabled = false

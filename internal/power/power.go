@@ -72,6 +72,16 @@ func DomainOf(c Component) clock.Domain {
 	}
 }
 
+// componentDomain tabulates DomainOf so the per-access hot path is an
+// array load (and Meter.Access stays inlinable).
+var componentDomain = func() [NumComponents]clock.Domain {
+	var t [NumComponents]clock.Domain
+	for c := Component(0); c < NumComponents; c++ {
+		t[c] = DomainOf(c)
+	}
+	return t
+}()
+
 // Params holds the calibration constants of the model. All energies are in
 // picojoules at VNom.
 type Params struct {
@@ -124,6 +134,11 @@ type Meter struct {
 	clockPJ  float64
 	accesses [NumComponents]uint64
 	byComp   [NumComponents]float64
+	// lastV/lastVS memoize the (V/Vnom)² factor: the pipeline charges
+	// several accesses per tick at the same domain voltage, which only
+	// moves while a regulator slews, so the division is paid once per
+	// distinct voltage instead of per access.
+	lastV, lastVS float64
 }
 
 // NewMeter returns a meter. mcd selects whether the MCD clock-energy
@@ -132,10 +147,26 @@ func NewMeter(params Params, mcd bool) *Meter {
 	return &Meter{params: params, mcd: mcd}
 }
 
-// vScale returns the (V/Vnom)² dynamic-energy scaling factor.
+// Reset returns the meter to its freshly constructed state, as NewMeter
+// would build it, reusing the allocation for a reused core.
+func (m *Meter) Reset(params Params, mcd bool) {
+	*m = Meter{params: params, mcd: mcd}
+}
+
+// vScale returns the (V/Vnom)² dynamic-energy scaling factor. The memo
+// hit is the hot path; the division lives in the miss slow path so the
+// callers stay within the inlining budget.
 func (m *Meter) vScale(v float64) float64 {
+	if v == m.lastV {
+		return m.lastVS
+	}
+	return m.vScaleMiss(v)
+}
+
+func (m *Meter) vScaleMiss(v float64) float64 {
 	r := v / m.params.VNom
-	return r * r
+	m.lastV, m.lastVS = v, r*r
+	return m.lastVS
 }
 
 // Access charges n accesses of component c at supply voltage v.
@@ -144,7 +175,7 @@ func (m *Meter) Access(c Component, v float64, n int) {
 		return
 	}
 	e := m.params.AccessPJ[c] * m.vScale(v) * float64(n)
-	m.domainPJ[DomainOf(c)] += e
+	m.domainPJ[componentDomain[c]] += e
 	m.byComp[c] += e
 	m.accesses[c] += uint64(n)
 }

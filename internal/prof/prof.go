@@ -1,0 +1,49 @@
+// Package prof wires runtime/pprof into the CLIs: every binary that can
+// drive long simulations takes -cpuprofile/-memprofile flags, so hot-loop
+// regressions are diagnosed from real captures instead of guesses (see
+// DESIGN.md, "Hot loop & performance budget").
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the two flag values (either may be empty)
+// and returns a stop function to call on clean exit: it stops the CPU
+// profile and writes the heap profile. On error nothing is started.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}

@@ -26,6 +26,110 @@ type Entry struct {
 	Addr      uint64
 }
 
+// ClassMask selects instruction classes by bit; it stands in for the
+// per-pipe predicate closures the issue scan used to take, so the
+// wakeup/select CAM walk makes no indirect calls (PR 5).
+type ClassMask uint16
+
+// MaskOf builds the mask accepting exactly the given classes.
+func MaskOf(classes ...workload.Class) ClassMask {
+	var m ClassMask
+	for _, c := range classes {
+		m |= 1 << c
+	}
+	return m
+}
+
+// Has reports whether class c is in the mask.
+func (m ClassMask) Has(c workload.Class) bool { return m&(1<<c) != 0 }
+
+// Wakeup carries one domain tick's readiness parameters: the CAM scan of
+// every issue structure evaluates the same visibility rule, so the
+// pipeline fills one Wakeup per tick and the queues test entries against
+// it directly. Periods is indexed by producer domain and is a value
+// copy — domain periods only move between ticks, never inside one, so
+// the scan reads it from the stack; the pipeline refreshes it whenever a
+// clock is reprogrammed. The floating-point expressions below reproduce
+// pipeline.Core's cross-domain visibility rule operation-for-operation,
+// which byte-identical results depend on.
+type Wakeup struct {
+	Now          float64
+	Domain       uint8 // consuming domain
+	SingleClock  bool
+	SyncWindowPS float64
+	Periods      [4]float64 // current period of each controllable domain, ps
+	Ring         *CompletionRing
+
+	// subPS/addPS fold the per-producer-domain visibility rule into two
+	// tabulated operands, refreshed by SetTick: a producer in domain p is
+	// visible at done − subPS[p] + addPS[p]. Same-domain (and
+	// single-clock) producers use the half-cycle guard with addPS = 0 —
+	// adding zero is exact, so the value ordering is unchanged — and
+	// cross-domain producers use the full producer period plus the
+	// synchronization window, the exact expression pipeline.Core.xvisible
+	// evaluates. Keeping the rule as data lets the CAM scan's source test
+	// inline.
+	subPS [4]float64
+	addPS [4]float64
+}
+
+// SetTick points the wakeup context at one domain tick: the scan time,
+// the consuming domain, and the folded visibility operands for the
+// current period table.
+func (w *Wakeup) SetTick(now float64, dom uint8) {
+	w.Now, w.Domain = now, dom
+	for p := 0; p < 4; p++ {
+		if w.SingleClock || uint8(p) == dom {
+			w.subPS[p] = 0.5 * w.Periods[p]
+			w.addPS[p] = 0
+		} else {
+			w.subPS[p] = w.Periods[p]
+			w.addPS[p] = w.SyncWindowPS
+		}
+	}
+}
+
+// SrcReady reports whether producer src's result is visible in the
+// consuming domain at Now. Within a domain (and in the fully synchronous
+// configuration) the completion time minus a half-cycle guard is the
+// bypass point; across domains the wakeup broadcast launches one producer
+// cycle early and must clear the synchronization window (see
+// pipeline.Core's clocking-model commentary). Overwritten or never-seen
+// producers are ancient history, hence visible.
+func (w *Wakeup) SrcReady(src int64) bool {
+	if src < 0 {
+		return true
+	}
+	s := w.Ring.slots[uint64(src)&w.Ring.mask]
+	if s.meta&ringSeqMask != uint64(src) {
+		return true
+	}
+	prod := (s.meta >> ringSeqBits) & 3 // producers are the three exec domains
+	return w.Now >= s.doneAt-w.subPS[prod]+w.addPS[prod]
+}
+
+// Ready reports whether entry e itself has crossed into the domain and
+// both its sources are visible.
+func (w *Wakeup) Ready(e *Entry) bool {
+	return e.VisibleAt <= w.Now && w.SrcReady(e.Src1) && w.SrcReady(e.Src2)
+}
+
+// srcReady is SrcReady over explicitly hoisted operands: the CAM scans
+// load the wakeup parameters into locals once, and this form inlines
+// with every operand already registerized (the compiler cannot otherwise
+// prove the scans' entry writes don't alias the Wakeup).
+func srcReady(slots []ringSlot, mask uint64, sub, add *[4]float64, now float64, src int64) bool {
+	if src < 0 {
+		return true
+	}
+	s := slots[uint64(src)&mask]
+	if s.meta&ringSeqMask != uint64(src) {
+		return true
+	}
+	p := (s.meta >> ringSeqBits) & 3
+	return now >= s.doneAt-sub[p]+add[p]
+}
+
 // IssueQueue is a small in-order-storage, out-of-order-select queue.
 type IssueQueue struct {
 	entries []Entry
@@ -35,6 +139,16 @@ type IssueQueue struct {
 // NewIssueQueue returns a queue with the given capacity.
 func NewIssueQueue(capacity int) *IssueQueue {
 	return &IssueQueue{entries: make([]Entry, 0, capacity), cap: capacity}
+}
+
+// Reset empties the queue for a reused core, reallocating only when the
+// capacity changed.
+func (q *IssueQueue) Reset(capacity int) {
+	if capacity != q.cap || cap(q.entries) < capacity {
+		*q = *NewIssueQueue(capacity)
+		return
+	}
+	q.entries = q.entries[:0]
 }
 
 // Len returns current occupancy; Cap the capacity; Free the open slots.
@@ -51,81 +165,176 @@ func (q *IssueQueue) Push(e Entry) bool {
 	return true
 }
 
-// Select removes and returns up to max entries satisfying ready, oldest
-// first, appending to out. The scan models the wakeup/select CAM: every
-// resident entry is examined.
-func (q *IssueQueue) Select(max int, ready func(*Entry) bool, out []Entry) []Entry {
+// SelectReady removes and returns up to max entries whose class is in
+// classes and that are ready under w, oldest first, appending to out.
+// The scan models the wakeup/select CAM: every resident entry is
+// examined, with no indirect calls. Compaction starts only at the first
+// selected entry, so a scan that issues nothing (the common case) writes
+// nothing back.
+func (q *IssueQueue) SelectReady(max int, classes ClassMask, w *Wakeup, out []Entry) []Entry {
 	if max <= 0 || len(q.entries) == 0 {
 		return out
 	}
-	w := 0
+	// The wakeup parameters are hoisted into locals so they stay
+	// registerized across the scan (the compiler cannot prove the entry
+	// writes below don't alias *w); readiness below is exactly
+	// Wakeup.Ready over them.
+	var slots []ringSlot
+	var rmask uint64
+	if r := w.Ring; r != nil { // entries without sources never consult it
+		slots, rmask = r.slots, r.mask
+	}
+	subv, addv := w.subPS, w.addPS
+	now := w.Now
+	wr := -1
 	for i := range q.entries {
 		e := &q.entries[i]
-		if max > 0 && ready(e) {
+		if max > 0 && classes.Has(e.Class) && e.VisibleAt <= now &&
+			srcReady(slots, rmask, &subv, &addv, now, e.Src1) &&
+			srcReady(slots, rmask, &subv, &addv, now, e.Src2) {
 			out = append(out, *e)
 			max--
+			if wr < 0 {
+				wr = i
+			}
 			continue
 		}
-		q.entries[w] = *e
-		w++
+		if wr >= 0 {
+			q.entries[wr] = *e
+			wr++
+		}
 	}
-	q.entries = q.entries[:w]
+	if wr >= 0 {
+		q.entries = q.entries[:wr]
+	}
 	return out
+}
+
+// SelectReady2 performs two disjoint selections in one CAM walk — the
+// per-domain tick issues its ALU-class and multiplier-class pipes from
+// the same queue, and fusing the passes halves the scan. Because the
+// class sets are disjoint, the selections are exactly those the two
+// corresponding SelectReady passes would make; callers process out1
+// completely before out2 to keep side-effect order identical to the
+// two-pass formulation.
+func (q *IssueQueue) SelectReady2(max1 int, c1 ClassMask, max2 int, c2 ClassMask, w *Wakeup, out1, out2 []Entry) ([]Entry, []Entry) {
+	if len(q.entries) == 0 || (max1 <= 0 && max2 <= 0) {
+		return out1, out2
+	}
+	// Hoisted wakeup parameters; see SelectReady. Each entry is willing
+	// for at most one pipe, so the readiness test runs at most once.
+	var slots []ringSlot
+	var rmask uint64
+	if r := w.Ring; r != nil { // entries without sources never consult it
+		slots, rmask = r.slots, r.mask
+	}
+	subv, addv := w.subPS, w.addPS
+	now := w.Now
+	wr := -1
+	for i := range q.entries {
+		e := &q.entries[i]
+		pipe := 0
+		if max1 > 0 && c1.Has(e.Class) {
+			pipe = 1
+		} else if max2 > 0 && c2.Has(e.Class) {
+			pipe = 2
+		}
+		if pipe != 0 && e.VisibleAt <= now &&
+			srcReady(slots, rmask, &subv, &addv, now, e.Src1) &&
+			srcReady(slots, rmask, &subv, &addv, now, e.Src2) {
+			if pipe == 1 {
+				out1 = append(out1, *e)
+				max1--
+			} else {
+				out2 = append(out2, *e)
+				max2--
+			}
+		} else {
+			if wr >= 0 {
+				q.entries[wr] = *e
+				wr++
+			}
+			continue
+		}
+		if wr < 0 {
+			wr = i
+		}
+	}
+	if wr >= 0 {
+		q.entries = q.entries[:wr]
+	}
+	return out1, out2
 }
 
 // CompletionRing maps a dynamic instruction seq to its completion time and
 // executing domain. Slots are recycled; because the ROB bounds in-flight
 // distance well below the ring size, an overwritten slot can only belong
 // to a much older instruction, which is by construction long complete.
+//
+// Each slot is 16 bytes — the seq and domain packed into one word next to
+// the completion time — so the wakeup scan's lookups touch one cache line
+// instead of three parallel arrays. Seqs are limited to 2⁵⁶−1, ten
+// orders of magnitude beyond any simulated window.
 type CompletionRing struct {
-	seq    []uint64
-	doneAt []float64
-	domain []uint8
-	mask   uint64
+	slots []ringSlot
+	mask  uint64
 }
+
+type ringSlot struct {
+	meta   uint64 // seq in the low 56 bits, domain in the high 8
+	doneAt float64
+}
+
+const (
+	ringSeqBits = 56
+	ringSeqMask = 1<<ringSeqBits - 1
+)
+
+// emptySlot reads as "ancient history": the seq field is all ones, which
+// no real dispatch reaches.
+var emptySlot = ringSlot{meta: math.MaxUint64, doneAt: math.Inf(-1)}
 
 // NewCompletionRing returns a ring of the given power-of-two size.
 func NewCompletionRing(size uint64) *CompletionRing {
 	if size == 0 || size&(size-1) != 0 {
 		panic("queue: completion ring size must be a power of two")
 	}
-	r := &CompletionRing{
-		seq:    make([]uint64, size),
-		doneAt: make([]float64, size),
-		domain: make([]uint8, size),
-		mask:   size - 1,
-	}
-	for i := range r.doneAt {
-		r.doneAt[i] = math.Inf(-1) // empty slots read as "long complete"
-		r.seq[i] = math.MaxUint64
-	}
+	r := &CompletionRing{slots: make([]ringSlot, size), mask: size - 1}
+	r.Reset()
 	return r
+}
+
+// Reset empties the ring in place for a reused core.
+func (r *CompletionRing) Reset() {
+	for i := range r.slots {
+		r.slots[i] = emptySlot
+	}
 }
 
 // Dispatch registers seq as in flight in the given domain.
 func (r *CompletionRing) Dispatch(seq uint64, domain uint8) {
-	i := seq & r.mask
-	r.seq[i] = seq
-	r.doneAt[i] = math.Inf(1)
-	r.domain[i] = domain
+	r.slots[seq&r.mask] = ringSlot{
+		meta:   seq | uint64(domain)<<ringSeqBits,
+		doneAt: math.Inf(1),
+	}
 }
 
 // Complete records seq's completion time.
 func (r *CompletionRing) Complete(seq uint64, t float64) {
-	i := seq & r.mask
-	if r.seq[i] == seq {
-		r.doneAt[i] = t
+	s := &r.slots[seq&r.mask]
+	if s.meta&ringSeqMask == seq {
+		s.doneAt = t
 	}
 }
 
 // Lookup returns the completion time and domain of seq. Overwritten or
 // never-seen slots return (-Inf, 0): the producer is ancient history.
 func (r *CompletionRing) Lookup(seq uint64) (float64, uint8) {
-	i := seq & r.mask
-	if r.seq[i] != seq {
+	s := r.slots[seq&r.mask]
+	if s.meta&ringSeqMask != seq {
 		return math.Inf(-1), 0
 	}
-	return r.doneAt[i], r.domain[i]
+	return s.doneAt, uint8(s.meta >> ringSeqBits)
 }
 
 // ROBEntry is one reorder-buffer slot.
@@ -145,6 +354,15 @@ type ROB struct {
 // NewROB returns a reorder buffer with the given capacity.
 func NewROB(capacity int) *ROB {
 	return &ROB{buf: make([]ROBEntry, capacity)}
+}
+
+// Reset empties the ROB for a reused core, reallocating only when the
+// capacity changed.
+func (r *ROB) Reset(capacity int) {
+	if capacity != len(r.buf) {
+		r.buf = make([]ROBEntry, capacity)
+	}
+	r.head, r.size = 0, 0
 }
 
 // Len returns occupancy; Cap capacity; Free open slots.
@@ -170,15 +388,24 @@ func (r *ROB) Head() *ROBEntry {
 	return &r.buf[r.head]
 }
 
-// Complete marks seq complete at time t (linear probe from head; the
-// window is at most Cap entries).
+// Complete marks seq complete at time t. Entries are pushed with
+// consecutive seqs, so the slot is head + (seq − head.Seq); the final
+// seq check keeps any non-consecutive use falling back to a miss.
 func (r *ROB) Complete(seq uint64, t float64) {
-	for i := 0; i < r.size; i++ {
-		e := &r.buf[(r.head+i)%len(r.buf)]
-		if e.Seq == seq {
-			e.DoneAt = t
-			return
-		}
+	if r.size == 0 {
+		return
+	}
+	head := r.buf[r.head].Seq
+	if seq < head {
+		return
+	}
+	off := seq - head
+	if off >= uint64(r.size) {
+		return
+	}
+	e := &r.buf[(r.head+int(off))%len(r.buf)]
+	if e.Seq == seq {
+		e.DoneAt = t
 	}
 }
 
@@ -220,6 +447,22 @@ func NewLSQ(capacity int, blockBytes int) *LSQ {
 		bb++
 	}
 	return &LSQ{entries: make([]LSQEntry, 0, capacity), cap: capacity, blockBits: bb}
+}
+
+// Reset empties the queue for a reused core, reallocating only when the
+// capacity changed; the disambiguation granularity is re-derived from
+// blockBytes either way.
+func (l *LSQ) Reset(capacity, blockBytes int) {
+	if capacity != l.cap || cap(l.entries) < capacity {
+		*l = *NewLSQ(capacity, blockBytes)
+		return
+	}
+	bb := uint(0)
+	for 1<<bb < blockBytes {
+		bb++
+	}
+	l.blockBits = bb
+	l.entries = l.entries[:0]
 }
 
 // Len returns occupancy; Cap capacity; Free open slots.

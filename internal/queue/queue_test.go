@@ -8,6 +8,20 @@ import (
 	"mcd/internal/workload"
 )
 
+// anyClass accepts every instruction class; visibleNow is a Wakeup under
+// which readiness is controlled purely by each entry's VisibleAt.
+var anyClass = ClassMask(0xffff)
+
+func visibleNow(now float64) *Wakeup {
+	w := &Wakeup{Periods: [4]float64{1000, 1000, 1000, 1000}}
+	w.SetTick(now, 0)
+	return w
+}
+
+func entry(seq uint64, visibleAt float64) Entry {
+	return Entry{Seq: seq, Src1: None, Src2: None, VisibleAt: visibleAt}
+}
+
 func TestIssueQueueCapacity(t *testing.T) {
 	q := NewIssueQueue(2)
 	if !q.Push(Entry{Seq: 1}) || !q.Push(Entry{Seq: 2}) {
@@ -24,10 +38,14 @@ func TestIssueQueueCapacity(t *testing.T) {
 func TestIssueQueueSelectOldestFirst(t *testing.T) {
 	q := NewIssueQueue(8)
 	for i := uint64(0); i < 6; i++ {
-		q.Push(Entry{Seq: i})
+		vis := 0.0
+		if i%2 == 1 {
+			vis = math.Inf(1) // odd seqs not yet visible
+		}
+		q.Push(entry(i, vis))
 	}
 	// Only even seqs ready; select at most 2: must pick 0 and 2.
-	got := q.Select(2, func(e *Entry) bool { return e.Seq%2 == 0 }, nil)
+	got := q.SelectReady(2, anyClass, visibleNow(0), nil)
 	if len(got) != 2 || got[0].Seq != 0 || got[1].Seq != 2 {
 		t.Fatalf("selected %+v, want seqs 0,2", got)
 	}
@@ -35,7 +53,7 @@ func TestIssueQueueSelectOldestFirst(t *testing.T) {
 		t.Errorf("len after select = %d, want 4", q.Len())
 	}
 	// Remaining order preserved: 1,3,4,5.
-	rest := q.Select(10, func(e *Entry) bool { return true }, nil)
+	rest := q.SelectReady(10, anyClass, visibleNow(math.Inf(1)), nil)
 	want := []uint64{1, 3, 4, 5}
 	for i, e := range rest {
 		if e.Seq != want[i] {
@@ -46,10 +64,89 @@ func TestIssueQueueSelectOldestFirst(t *testing.T) {
 
 func TestIssueQueueSelectNoneReady(t *testing.T) {
 	q := NewIssueQueue(4)
-	q.Push(Entry{Seq: 9, Class: workload.Load})
-	out := q.Select(4, func(e *Entry) bool { return false }, nil)
+	q.Push(entry(9, math.Inf(1)))
+	out := q.SelectReady(4, anyClass, visibleNow(100), nil)
 	if len(out) != 0 || q.Len() != 1 {
 		t.Error("nothing should have been selected")
+	}
+}
+
+func TestIssueQueueSelectClassMask(t *testing.T) {
+	q := NewIssueQueue(8)
+	classes := []workload.Class{workload.IntALU, workload.IntMul, workload.Branch, workload.IntALU}
+	for i, c := range classes {
+		e := entry(uint64(i), 0)
+		e.Class = c
+		q.Push(e)
+	}
+	mask := MaskOf(workload.IntALU, workload.Branch)
+	got := q.SelectReady(8, mask, visibleNow(0), nil)
+	if len(got) != 3 {
+		t.Fatalf("selected %d entries, want 3 (ALU, Branch, ALU)", len(got))
+	}
+	for _, e := range got {
+		if e.Class == workload.IntMul {
+			t.Errorf("mask %b selected excluded class %v", mask, e.Class)
+		}
+	}
+	if q.Len() != 1 || q.entries[0].Class != workload.IntMul {
+		t.Errorf("IntMul entry should remain, queue = %+v", q.entries)
+	}
+}
+
+func TestWakeupSrcReadyMatchesVisibilityRule(t *testing.T) {
+	ring := NewCompletionRing(64)
+	ring.Dispatch(7, 2)
+	ring.Complete(7, 10_000)
+	w := &Wakeup{SyncWindowPS: 300, Periods: [4]float64{1000, 800, 1250, 900}, Ring: ring}
+	w.SetTick(0, 1)
+
+	// Absent source: always ready.
+	if !w.SrcReady(None) {
+		t.Error("absent source not ready")
+	}
+	// Cross-domain (producer 2 → consumer 1): visible at
+	// done − period(producer) + window = 10000 − 1250 + 300 = 9050.
+	w.SetTick(9049.9, 1)
+	if w.SrcReady(7) {
+		t.Error("ready before the synchronization window cleared")
+	}
+	w.SetTick(9050, 1)
+	if !w.SrcReady(7) {
+		t.Error("not ready at the visibility boundary")
+	}
+	// Same-domain: half-cycle guard, done − 0.5×period(producer).
+	w.SetTick(10_000-0.5*1250, 2)
+	if !w.SrcReady(7) {
+		t.Error("same-domain bypass point not honoured")
+	}
+	w.SetTick(10_000-0.5*1250-0.1, 2)
+	if w.SrcReady(7) {
+		t.Error("ready before the same-domain bypass point")
+	}
+	// Single clock: the same half-cycle rule regardless of domains.
+	w.SingleClock = true
+	w.SetTick(10_000-0.5*1250, 1)
+	if !w.SrcReady(7) {
+		t.Error("single-clock bypass point not honoured")
+	}
+	// Never-dispatched producers read as ancient history.
+	if !w.SrcReady(55) {
+		t.Error("unknown producer should be long complete")
+	}
+}
+
+func TestIssueQueueReset(t *testing.T) {
+	q := NewIssueQueue(4)
+	q.Push(entry(1, 0))
+	q.Reset(4)
+	if q.Len() != 0 || q.Cap() != 4 {
+		t.Errorf("reset queue len/cap = %d/%d, want 0/4", q.Len(), q.Cap())
+	}
+	q.Push(entry(2, 0))
+	q.Reset(8) // capacity change must take effect
+	if q.Len() != 0 || q.Cap() != 8 || q.Free() != 8 {
+		t.Errorf("resized queue len/cap/free = %d/%d/%d", q.Len(), q.Cap(), q.Free())
 	}
 }
 
@@ -75,6 +172,11 @@ func TestCompletionRingLifecycle(t *testing.T) {
 	r.Complete(42, 99) // stale complete must be ignored
 	if d, _ := r.Lookup(42 + 512); !math.IsInf(d, 1) {
 		t.Error("stale Complete corrupted newer entry")
+	}
+	// Reset returns every slot to the empty state.
+	r.Reset()
+	if d, dom := r.Lookup(42 + 512); !math.IsInf(d, -1) || dom != 0 {
+		t.Errorf("post-reset slot = (%v,%d), want (-Inf,0)", d, dom)
 	}
 }
 
@@ -118,6 +220,24 @@ func TestROBInOrderRetire(t *testing.T) {
 	r.Pop() // popping empty is a no-op
 }
 
+func TestROBCompleteBounds(t *testing.T) {
+	r := NewROB(4)
+	r.Push(ROBEntry{Seq: 10, DoneAt: math.Inf(1)})
+	r.Push(ROBEntry{Seq: 11, DoneAt: math.Inf(1)})
+	r.Complete(9, 1)  // older than the window: ignored
+	r.Complete(12, 1) // younger than the window: ignored
+	for i := 0; i < 2; i++ {
+		if !math.IsInf(r.buf[(r.head+i)%len(r.buf)].DoneAt, 1) {
+			t.Fatalf("out-of-window Complete mutated entry %d", i)
+		}
+	}
+	r.Complete(11, 77)
+	r.Pop()
+	if h := r.Head(); h.Seq != 11 || h.DoneAt != 77 {
+		t.Errorf("head = %+v, want seq 11 done at 77", h)
+	}
+}
+
 func TestROBWraparound(t *testing.T) {
 	r := NewROB(3)
 	for i := uint64(0); i < 10; i++ {
@@ -126,6 +246,12 @@ func TestROBWraparound(t *testing.T) {
 		}
 		if r.Head().Seq != i {
 			t.Fatalf("head seq = %d, want %d", r.Head().Seq, i)
+		}
+		// The direct-index Complete must land on the head slot as the
+		// window slides through the backing array.
+		r.Complete(i, float64(100+i))
+		if r.Head().DoneAt != float64(100+i) {
+			t.Fatalf("complete missed wrapped slot for seq %d", i)
 		}
 		r.Pop()
 	}
@@ -181,16 +307,34 @@ func TestLSQCapacity(t *testing.T) {
 	}
 }
 
-// Property: Select removes exactly the ready entries (up to max) and
-// preserves relative order of the rest.
+func TestLSQReset(t *testing.T) {
+	l := NewLSQ(4, 64)
+	l.Push(LSQEntry{Seq: 1, Addr: 0x1234})
+	l.Reset(4, 32) // same capacity, new disambiguation granularity
+	if l.Len() != 0 || l.Cap() != 4 {
+		t.Errorf("reset LSQ len/cap = %d/%d, want 0/4", l.Len(), l.Cap())
+	}
+	l.Push(LSQEntry{Seq: 2, Addr: 0x40})
+	if got := l.Entries()[0].Block; got != 0x40>>5 {
+		t.Errorf("block = %#x, want %#x (32-byte granularity)", got, 0x40>>5)
+	}
+}
+
+// Property: SelectReady removes exactly the ready entries (up to max) and
+// preserves relative order of the rest. Readiness is encoded through
+// VisibleAt, the same field the pipeline's dispatch stamps.
 func TestSelectPreservesOrderProperty(t *testing.T) {
 	f := func(readyMask uint16, maxSel uint8) bool {
 		q := NewIssueQueue(16)
 		for i := uint64(0); i < 16; i++ {
-			q.Push(Entry{Seq: i})
+			vis := math.Inf(1)
+			if readyMask&(1<<i) != 0 {
+				vis = 0
+			}
+			q.Push(entry(i, vis))
 		}
 		max := int(maxSel % 17)
-		got := q.Select(max, func(e *Entry) bool { return readyMask&(1<<e.Seq) != 0 }, nil)
+		got := q.SelectReady(max, anyClass, visibleNow(0), nil)
 		if len(got) > max {
 			return false
 		}
@@ -201,7 +345,7 @@ func TestSelectPreservesOrderProperty(t *testing.T) {
 			}
 			prev = int64(e.Seq)
 		}
-		rest := q.Select(16, func(e *Entry) bool { return true }, nil)
+		rest := q.SelectReady(16, anyClass, visibleNow(math.Inf(1)), nil)
 		prev = -1
 		for _, e := range rest {
 			if int64(e.Seq) <= prev {

@@ -2,10 +2,29 @@ package sim
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 
 	"mcd/internal/pipeline"
 	"mcd/internal/stats"
 )
+
+// corePool recycles pipeline cores across runs: a grid sweep reuses each
+// worker's predictor, cache and queue allocations instead of rebuilding
+// ~800 KB of tables per cell. Reset returns a pooled core to the freshly
+// constructed state, so results are byte-identical to unpooled runs (the
+// registry-wide byte-identity suite pins this).
+var corePool = sync.Pool{}
+
+// simulated counts instructions retired (warmup included) by every
+// session closed in this process — the denominator for the harness's
+// simulated-MIPS reporting.
+var simulated atomic.Uint64
+
+// SimulatedInstructions returns the process-wide count of instructions
+// simulated by completed sessions, warmup included. Benchmarks read the
+// delta across a measured region to report simulated MIPS.
+func SimulatedInstructions() uint64 { return simulated.Load() }
 
 // Session is a resumable simulation: the run loop of pipeline.Core
 // inverted into caller-driven stepping, so a long run can be observed,
@@ -34,6 +53,9 @@ type Session struct {
 	done      bool
 	closed    bool
 	result    stats.Result
+	// final freezes the core's progress at Close, after which the core
+	// itself returns to the pool for reuse by another run.
+	final stats.Progress
 }
 
 // Open starts a session over the spec. The simulation is initialized
@@ -51,7 +73,12 @@ func Open(s Spec) (*Session, error) {
 func open(s Spec) *Session {
 	ses := &Session{spec: s}
 	gen := s.Profile.NewGenerator(s.Warmup + s.Window)
-	ses.core = pipeline.New(s.Config, gen)
+	if c, ok := corePool.Get().(*pipeline.Core); ok {
+		c.Reset(s.Config, gen)
+		ses.core = c
+	} else {
+		ses.core = pipeline.New(s.Config, gen)
+	}
 	ses.core.Start(pipeline.RunOptions{
 		Window:          s.Window,
 		Warmup:          s.Warmup,
@@ -113,7 +140,10 @@ func (s *Session) Step(n int) bool {
 // time, energy, the current regulator frequency targets, the last
 // interval's IPC, and whether the run finished or stopped early.
 func (s *Session) Snapshot() stats.Progress {
-	p := s.core.Progress()
+	p := s.final
+	if !s.closed {
+		p = s.core.Progress()
+	}
 	if s.haveIV {
 		p.IPC = s.last.IPC
 	}
@@ -128,11 +158,21 @@ func (s *Session) Snapshot() stats.Progress {
 // advance the run — and returns the Result: complete after a full
 // drain, a well-formed partial otherwise. Close is idempotent;
 // subsequent calls return the same Result and further Steps are no-ops.
+// Closing releases the core back to the pool for reuse by another run;
+// the Result and the frozen Snapshot remain valid.
 func (s *Session) Close() stats.Result {
 	if !s.closed {
 		s.closed = true
 		s.done = true
 		s.result = s.core.Finish()
+		s.final = s.core.Progress()
+		simulated.Add(s.core.Retired())
+		// Drop the run's object graph (generator, observer closures, the
+		// interval buffer now owned by the Result) before pooling, so an
+		// idle pooled core pins nothing from this session.
+		s.core.Release()
+		corePool.Put(s.core)
+		s.core = nil
 	}
 	return s.result
 }

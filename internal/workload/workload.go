@@ -212,12 +212,32 @@ func (g *generator) Name() string   { return g.prof.Name }
 func (g *generator) Window() uint64 { return g.window }
 
 func (g *generator) Reset() {
-	g.rng = rand.New(rand.NewSource(g.prof.Seed ^ 0x5eed))
+	seed := g.prof.Seed ^ 0x5eed
+	if g.rng == nil {
+		g.rng = rand.New(rand.NewSource(seed))
+	} else {
+		// Re-seeding restores the exact state rand.New(NewSource(seed))
+		// constructs, without reallocating the source's state table.
+		g.rng.Seed(seed)
+	}
 	g.seq = 0
 	g.phIdx = 0
 	g.pc = 0x10000
 	g.lastLd = 0
 	g.dataLo = 0x4000_0000
+	for i := range g.streams {
+		g.streams[i] = g.dataLo + uint64(i)*8192
+	}
+
+	// The phase script is a pure function of the profile and window:
+	// build it once, and on later resets only clear the branch-site
+	// counters (the script's only mutable state).
+	if g.phases != nil {
+		for i := range g.phases {
+			clear(g.phases[i].counters)
+		}
+		return
+	}
 
 	phases := g.prof.Phases
 	if len(phases) == 0 {
@@ -238,7 +258,6 @@ func (g *generator) Reset() {
 			span = 200_000
 		}
 	}
-	g.phases = g.phases[:0]
 	var acc uint64
 	for i, p := range phases {
 		f := p.Frac
@@ -263,9 +282,6 @@ func (g *generator) Reset() {
 		ps.counters = make([]uint16, ps.BranchSites)
 		ps.randomAt = int(float64(ps.BranchSites) * ps.RandomSiteFrac)
 		g.phases = append(g.phases, ps)
-	}
-	for i := range g.streams {
-		g.streams[i] = g.dataLo + uint64(i)*8192
 	}
 }
 

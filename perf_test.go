@@ -1,0 +1,53 @@
+// Single-run throughput benchmarks: the within-run hot path every
+// experiment in this repo bottoms out in (PR 5). BenchmarkSingleRun is
+// the number the perf-regression gate tracks in BENCH_5.json; the
+// internal/pipeline benchmarks isolate the cycle engine below the
+// session layer.
+package mcd_test
+
+import (
+	"testing"
+
+	"mcd"
+)
+
+// singleRunSpec is one QuickOptions-scale Attack/Decay run — the
+// canonical cache-miss unit of work behind every table cell, sweep
+// point and streamed session.
+func singleRunSpec(b *testing.B) mcd.Spec {
+	bench, ok := mcd.LookupBenchmark("epic")
+	if !ok {
+		b.Fatal("benchmark epic missing from catalog")
+	}
+	cfg := mcd.DefaultConfig()
+	cfg.SlewNsPerMHz = 4.91
+	return mcd.Spec{
+		Config:         cfg,
+		Profile:        bench.Profile,
+		Window:         120_000,
+		Warmup:         60_000,
+		IntervalLength: 500,
+		Controller:     mcd.NewAttackDecay(mcd.DefaultParams()),
+		Name:           "attack-decay",
+	}
+}
+
+// BenchmarkSingleRun measures one full mcd.Run per iteration (session
+// open, drain, close) and reports simulated MIPS: retired instructions
+// (warmup included — those cycles are simulated too) per wall-clock
+// second.
+func BenchmarkSingleRun(b *testing.B) {
+	spec := singleRunSpec(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := mcd.Run(spec)
+		if res.Instructions != spec.Window {
+			b.Fatalf("run retired %d measured instructions, want %d", res.Instructions, spec.Window)
+		}
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(spec.Warmup+spec.Window)*float64(b.N)/1e6/s, "sim-MIPS")
+	}
+}
