@@ -21,6 +21,14 @@
 //	curl localhost:8080/v1/jobs/j000001/events        # NDJSON progress
 //	curl localhost:8080/v1/jobs/j000001/result
 //	curl localhost:8080/v1/cache/stats
+//	curl localhost:8080/metrics                       # Prometheus text format
+//
+// With -journal DIR every submission is persisted before it is
+// acknowledged, and a restarted server replays whatever was queued or
+// running when the previous process died — byte-identical results by
+// the determinism contract (completed cells come straight from the
+// result cache). -client-quota N bounds the queued jobs one client (the
+// X-Client header, or the remote address) may hold at once.
 package main
 
 import (
@@ -32,10 +40,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
+	"mcd/internal/journal"
 	"mcd/internal/resultcache"
 	"mcd/internal/service"
 )
@@ -48,27 +58,41 @@ func main() {
 		workers  = flag.Int("workers", runtime.NumCPU(), "parallel simulations per job")
 		runners  = flag.Int("runners", 2, "jobs executing concurrently")
 		queue    = flag.Int("queue", 64, "queued-job bound; beyond it submissions get 429")
+		journalD = flag.String("journal", "", "job-journal directory; submitted jobs survive crashes and restarts (empty: no persistence)")
+		quota    = flag.Int("client-quota", 0, "queued jobs one client may hold at once (0: unlimited)")
 	)
 	flag.Parse()
-	if err := run(*addr, *cacheDir, *cacheMem, *workers, *runners, *queue); err != nil {
+	if err := run(*addr, *cacheDir, *cacheMem, *workers, *runners, *queue, *journalD, *quota); err != nil {
 		fmt.Fprintf(os.Stderr, "mcdserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, cacheDir string, cacheMem int64, workers, runners, queue int) error {
+func run(addr, cacheDir string, cacheMem int64, workers, runners, queue int, journalDir string, quota int) error {
 	cache, err := resultcache.New(resultcache.Options{Dir: cacheDir, MaxMemBytes: cacheMem})
 	if err != nil {
 		return err
+	}
+	var jnl *journal.Journal
+	if journalDir != "" {
+		jnl, err = journal.Open(filepath.Join(journalDir, "jobs.ndjson"))
+		if err != nil {
+			return err
+		}
+		if n := len(jnl.Pending()); n > 0 {
+			log.Printf("mcdserve: journal replay re-queueing %d interrupted job(s)", n)
+		}
 	}
 	// No deferred Close: the shutdown path below closes the manager
 	// with a bounded wait, and every other exit ends the process, which
 	// reaps the workers anyway.
 	mgr := service.New(service.Options{
-		Runners:    runners,
-		QueueDepth: queue,
-		Workers:    workers,
-		Cache:      cache,
+		Runners:     runners,
+		QueueDepth:  queue,
+		Workers:     workers,
+		Cache:       cache,
+		Journal:     jnl,
+		ClientQuota: quota,
 	})
 
 	srv := &http.Server{Addr: addr, Handler: service.NewHandler(mgr)}

@@ -59,6 +59,8 @@ func init() {
 				Doc: "performance-degradation cap vs the baseline MCD processor"},
 			{Name: "iters", Default: 6, Min: 1, Max: 10,
 				Doc: "schedule-search refinement iterations"},
+			{Name: "adapt", Default: 0, Min: 0, Max: 1,
+				Doc: "1: bisect the down-step toward the cap when every candidate overshoots (for compressed quick scales); 0: classic fixed-step search"},
 		},
 		Build: func(r Run, p Params) (sim.Spec, error) {
 			ctrl, _ := core.BuildOffline(r.Config, r.Profile, r.Window, offlineOpts(r, p))
@@ -147,6 +149,7 @@ func offlineOpts(r Run, p Params) core.OfflineOptions {
 	return core.OfflineOptions{
 		TargetDeg:      p["target"],
 		Iterations:     int(p["iters"]),
+		AdaptiveStep:   p["adapt"] != 0,
 		Warmup:         r.Warmup,
 		IntervalLength: r.IntervalLength,
 	}

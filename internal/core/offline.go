@@ -97,6 +97,16 @@ type OfflineOptions struct {
 	// StepDown/StepUp are the multiplicative frequency adjustments
 	// (defaults 0.90 and 1.15).
 	StepDown, StepUp float64
+	// AdaptiveStep softens the down-step instead of committing an
+	// overshooting schedule: whenever every candidate of an iteration
+	// lands beyond the dilation cap, the step is bisected toward 1
+	// ((1+step)/2) and the iteration retried from the last good
+	// schedule. At compressed quick scales a window holds so few
+	// intervals that one fixed 10% down-step can jump straight past a
+	// tight cap; bisection finds the step size the scale actually
+	// affords. Off by default: the classic fixed-step search (and its
+	// content addresses) stays byte-identical.
+	AdaptiveStep bool
 	// Warmup instructions run before each profiled window.
 	Warmup uint64
 	// IntervalLength is the sampling period used during profiling and
@@ -145,8 +155,14 @@ func (o OfflineOptions) withDefaults() OfflineOptions {
 func (o OfflineOptions) CacheExtra() string {
 	r := o.withDefaults()
 	h := resultcache.Float
-	return fmt.Sprintf("offline|target=%s|iters=%d|down=%s|up=%s|cands=%d",
+	extra := fmt.Sprintf("offline|target=%s|iters=%d|down=%s|up=%s|cands=%d",
 		h(r.TargetDeg), r.Iterations, h(r.StepDown), h(r.StepUp), r.Candidates)
+	// The adaptive marker is appended only when the knob is on, so every
+	// legacy address (computed before the knob existed) is unchanged.
+	if r.AdaptiveStep {
+		extra += "|adapt=1"
+	}
+	return extra
 }
 
 // stepExponent spreads candidate k's refinement aggressiveness around the
@@ -234,6 +250,7 @@ func BuildOffline(cfg pipeline.Config, prof workload.Profile, window uint64, opt
 	}
 
 	cur := base
+	down := opts.StepDown
 	for it := 0; it < opts.Iterations; it++ {
 		deg := cur.TimePS/base.TimePS - 1
 
@@ -242,7 +259,7 @@ func BuildOffline(cfg pipeline.Config, prof workload.Profile, window uint64, opt
 		for k := range cands {
 			e := stepExponent(k)
 			cands[k] = refine(sched, cur, base, deg, cfg, opts,
-				math.Pow(opts.StepDown, e), math.Pow(opts.StepUp, e))
+				math.Pow(down, e), math.Pow(opts.StepUp, e))
 			ctrl := NewOfflineController(name, cands[k])
 			tasks[k] = runner.SpecTask(fmt.Sprintf("%s/cand%d", name, k), sim.Spec{
 				Config: cfg, Profile: prof, Window: window, Warmup: opts.Warmup,
@@ -269,7 +286,16 @@ func BuildOffline(cfg pipeline.Config, prof workload.Profile, window uint64, opt
 				best = k
 			}
 		}
-		if best < 0 { // every candidate overshot: take the least dilated
+		if best < 0 { // every candidate overshot
+			if opts.AdaptiveStep {
+				// Bisect the down-step toward a no-op and retry from the
+				// last schedule that respected the cap, instead of
+				// committing an overshooting one. The retry spends an
+				// iteration, so the search still terminates.
+				down = (1 + down) / 2
+				continue
+			}
+			// Fixed-step legacy behavior: take the least dilated.
 			bestDeg := math.Inf(1)
 			for k, o := range outs {
 				if dk := o.Value.TimePS/base.TimePS - 1; dk < bestDeg {

@@ -6,6 +6,7 @@ import (
 
 	"mcd/internal/clock"
 	"mcd/internal/pipeline"
+	"mcd/internal/sim"
 	"mcd/internal/workload"
 )
 
@@ -110,6 +111,65 @@ func TestBuildOfflineCandidatesDeterministic(t *testing.T) {
 		if f < 250 || f > 1000 {
 			t.Errorf("default search initial[%d] = %v out of the frequency scale", d, f)
 		}
+	}
+}
+
+// TestAdaptiveStepMeetsCapAtQuickScale pins the cap-overshoot fix: at a
+// compressed quick scale the window holds so few intervals that one
+// fixed 10% down-step jumps straight past a tight dilation cap — the
+// classic search commits the overshoot (here ~8x the 1% target).
+// AdaptiveStep bisects the step toward a no-op whenever every candidate
+// overshoots, and must land the final schedule within [0.9, 1.1] x
+// TargetDeg at the same scale.
+func TestAdaptiveStepMeetsCapAtQuickScale(t *testing.T) {
+	b, ok := workload.Lookup("adpcm")
+	if !ok {
+		t.Fatal("adpcm missing from catalog")
+	}
+	cfg := pipeline.DefaultConfig()
+	const (
+		window = 20_000
+		warmup = 10_000
+		il     = 500
+		target = 0.01
+	)
+	degOf := func(adaptive bool) float64 {
+		ctrl, base := BuildOffline(cfg, b.Profile, window, OfflineOptions{
+			TargetDeg: target, Warmup: warmup, IntervalLength: il,
+			AdaptiveStep: adaptive,
+		})
+		res := sim.Run(sim.Spec{
+			Config: cfg, Profile: b.Profile, Window: window, Warmup: warmup,
+			IntervalLength: il, Controller: ctrl, InitialFreqMHz: ctrl.Initial(),
+			Name: "adaptive-step-test",
+		})
+		return res.TimePS/base.TimePS - 1
+	}
+
+	fixed := degOf(false)
+	if fixed <= target*1.1 {
+		// The regression scenario itself: if the fixed step no longer
+		// overshoots here, this test is pinning nothing.
+		t.Fatalf("fixed step met the cap (deg=%.5f <= %.5f) — the quick-scale overshoot scenario is gone", fixed, target*1.1)
+	}
+	adaptive := degOf(true)
+	if adaptive < target*0.9 || adaptive > target*1.1 {
+		t.Errorf("adaptive step landed at deg=%.5f, want within [%.5f, %.5f] (fixed step: %.5f)",
+			adaptive, target*0.9, target*1.1, fixed)
+	}
+}
+
+// TestAdaptiveCacheExtraPreservesLegacyAddresses: enabling the knob must
+// change the content address (a different search is a different
+// outcome), while the default must keep every legacy address intact.
+func TestAdaptiveCacheExtraPreservesLegacyAddresses(t *testing.T) {
+	legacy := OfflineOptions{TargetDeg: 0.05}.CacheExtra()
+	if want := "offline|target=0x1.999999999999ap-05|iters=6|down=0x1.ccccccccccccdp-01|up=0x1.2666666666666p+00|cands=1"; legacy != want {
+		t.Errorf("legacy CacheExtra = %q, want %q", legacy, want)
+	}
+	adaptive := OfflineOptions{TargetDeg: 0.05, AdaptiveStep: true}.CacheExtra()
+	if adaptive != legacy+"|adapt=1" {
+		t.Errorf("adaptive CacheExtra = %q, want legacy + |adapt=1", adaptive)
 	}
 }
 

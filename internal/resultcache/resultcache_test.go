@@ -129,7 +129,13 @@ func TestKeyCoversEveryField(t *testing.T) {
 		// OfflineOptions is key material through CacheExtra: a new
 		// result-affecting search field must be added there (and the
 		// version bumped) or stale dynamic-1%/5% entries get served.
-		"core.OfflineOptions": {reflect.TypeOf(core.OfflineOptions{}), 8},
+		// (9th field, AdaptiveStep: covered by a conditional "|adapt=1"
+		// suffix with no version bump — the zero value encodes exactly
+		// as before, so every legacy address is preserved, and the
+		// suffix cannot collide with a legacy extra, which always ends
+		// in "cands=N". TestAdaptiveCacheExtraPreservesLegacyAddresses
+		// pins both halves.)
+		"core.OfflineOptions": {reflect.TypeOf(core.OfflineOptions{}), 9},
 	}
 	for name, w := range want {
 		if n := w.typ.NumField(); n != w.n {

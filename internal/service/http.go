@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
+	"strconv"
+	"time"
 
 	"mcd/internal/control"
 	"mcd/internal/wire"
@@ -22,12 +25,19 @@ import (
 //	DELETE /v1/jobs/{id}     cancel
 //	GET    /v1/healthz       liveness
 //	GET    /v1/cache/stats   result-store counters
+//	GET    /metrics          Prometheus text-format instruments
 //
 // Synchronous single runs answer with the canonical result encoding and
 // an X-Cache: hit|miss header — the byte-identity contract makes a hit
 // indistinguishable from a recompute except for that header.
+//
+// Submissions are attributed to the X-Client header (falling back to
+// the remote address) for per-client quota accounting; 429 responses
+// carry a Retry-After estimate and distinguish "queue" from "quota" in
+// the body.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", m.Metrics())
 	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) { handleRuns(m, w, r) })
 	mux.HandleFunc("POST /v1/experiments", func(w http.ResponseWriter, r *http.Request) { handleExperiments(m, w, r) })
 	mux.HandleFunc("GET /v1/controllers", func(w http.ResponseWriter, r *http.Request) {
@@ -98,22 +108,22 @@ func handleRuns(m *Manager, w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, errors.New("stream applies to a single run, not a batch"))
 			return
 		}
-		j, err := m.SubmitBatch(p.Runs)
+		j, err := m.SubmitBatchAs(clientID(r), p.Runs)
 		if err != nil {
-			writeSubmitError(w, err)
+			writeSubmitError(m, w, err)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, j.Snapshot())
 		return
 	}
 	if p.Async {
-		submit := m.SubmitRun
+		submit := m.SubmitRunAs
 		if p.Stream {
-			submit = m.SubmitStream
+			submit = m.SubmitStreamAs
 		}
-		j, err := submit(p.RunRequest)
+		j, err := submit(clientID(r), p.RunRequest)
 		if err != nil {
-			writeSubmitError(w, err)
+			writeSubmitError(m, w, err)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, j.Snapshot())
@@ -135,9 +145,9 @@ func handleRuns(m *Manager, w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	j, err := m.SubmitRun(p.RunRequest)
+	j, err := m.SubmitRunAs(clientID(r), p.RunRequest)
 	if err != nil {
-		writeSubmitError(w, err)
+		writeSubmitError(m, w, err)
 		return
 	}
 	body, snap, err := j.WaitResult(r.Context())
@@ -187,10 +197,10 @@ func handleStreamRun(m *Manager, w http.ResponseWriter, r *http.Request, req wir
 			return
 		}
 	}
-	j, err := m.SubmitStream(req)
+	j, err := m.SubmitStreamAs(clientID(r), req)
 	if err != nil {
 		w.Header().Del("Content-Type")
-		writeSubmitError(w, err)
+		writeSubmitError(m, w, err)
 		return
 	}
 	w.Header().Set("X-Cache", "miss")
@@ -203,6 +213,7 @@ func handleStreamRun(m *Manager, w http.ResponseWriter, r *http.Request, req wir
 		if dropped > 0 {
 			// This consumer outran the bounded interval log; the gap is
 			// explicit in the stream, never silent.
+			m.met.gapFrames.Inc()
 			if enc.Encode(wire.GapFrame(dropped)) != nil {
 				m.Cancel(j.ID())
 				return
@@ -243,9 +254,9 @@ func handleExperiments(m *Manager, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	j, err := m.SubmitExperiment(e)
+	j, err := m.SubmitExperimentAs(clientID(r), e)
 	if err != nil {
-		writeSubmitError(w, err)
+		writeSubmitError(m, w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.Snapshot())
@@ -274,6 +285,7 @@ func handleEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
 		ivs, n, dropped := j.IntervalsSince(next)
 		next = n
 		if dropped > 0 {
+			m.met.gapFrames.Inc()
 			if enc.Encode(wire.GapFrame(dropped)) != nil {
 				return
 			}
@@ -339,13 +351,43 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	return nil
 }
 
-func writeSubmitError(w http.ResponseWriter, err error) {
+// clientID is the quota identity of a request: the X-Client header when
+// the caller supplies one, otherwise the remote host (so unlabelled
+// clients behind one address share a budget rather than escaping it).
+func clientID(r *http.Request) string {
+	if c := r.Header.Get("X-Client"); c != "" {
+		return c
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil && host != "" {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// writeSubmitError maps a submission failure to its response. Both
+// rejection flavors answer 429 with a Retry-After estimate (the queue
+// drained at recent job latency) and name their reason — "queue" means
+// everyone is waiting, "quota" means this client specifically should
+// back off — so clients can distinguish server pressure from their own.
+func writeSubmitError(m *Manager, w http.ResponseWriter, err error) {
+	reason := ""
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		writeError(w, http.StatusTooManyRequests, err)
+		reason = "queue"
+	case errors.Is(err, ErrQuota):
+		reason = "quota"
 	default:
 		writeError(w, http.StatusBadRequest, err)
+		return
 	}
+	retry := m.RetryAfter()
+	secs := int(retry / time.Second)
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusTooManyRequests, map[string]any{
+		"error":               err.Error(),
+		"reason":              reason,
+		"retry_after_seconds": secs,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -12,12 +12,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"mcd"
+	"mcd/internal/journal"
+	"mcd/internal/metrics"
 	"mcd/internal/resultcache"
+	"mcd/internal/sim"
 	"mcd/internal/stats"
 	"mcd/internal/wire"
 )
@@ -36,6 +42,13 @@ const (
 // ErrQueueFull reports that the job queue is at its configured depth;
 // the client should retry later (the HTTP layer maps it to 429).
 var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrQuota reports that one client's share of the queue is exhausted
+// while the queue itself still has room: the greedy client gets its own
+// 429s (with a Retry-After) instead of starving everyone else. The HTTP
+// layer distinguishes it from ErrQueueFull in the error body so clients
+// can back off correctly.
+var ErrQuota = errors.New("service: per-client quota exhausted")
 
 // ErrNotFound reports an unknown job ID.
 var ErrNotFound = errors.New("service: no such job")
@@ -62,6 +75,21 @@ type Options struct {
 	// Cache, if non-nil, backs every run with the content-addressed
 	// result store.
 	Cache *resultcache.Cache
+	// Journal, if non-nil, persists every submission and state
+	// transition; jobs the journal reports as still live (queued or
+	// running when the previous process died) are re-queued under their
+	// original IDs before the manager accepts new work. Rerunning them is
+	// safe by the determinism contract — identical requests produce
+	// byte-identical results, and completed cells hit the result cache.
+	Journal *journal.Journal
+	// ClientQuota bounds how many queued jobs one client (the X-Client
+	// header or remote address) may hold at once; 0 or negative disables
+	// the quota. Jobs submitted with an empty client ID (direct library
+	// use) are exempt.
+	ClientQuota int
+	// Metrics receives the manager's instruments; nil creates a private
+	// registry (reachable via Manager.Metrics, served at GET /metrics).
+	Metrics *metrics.Registry
 }
 
 // Manager owns the job table, the bounded queue and the runner pool.
@@ -75,6 +103,8 @@ type Manager struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
+	met *managerMetrics
+
 	mu      sync.Mutex
 	cond    *sync.Cond // signalled on pending growth and on close
 	pending []*Job
@@ -85,9 +115,20 @@ type Manager struct {
 	// of a full-table scan per submission.
 	terminal []string
 	seq      int
+	// jnl is the persistent job journal (nil: no persistence). It lives
+	// behind mu so Kill can detach it atomically — a simulated crash
+	// must stop journaling before the cancellation fallout writes
+	// terminal states the real crash would never have written.
+	jnl *journal.Journal
+	// latEWMA tracks recent job latency (seconds, exponentially
+	// weighted) — the basis of Retry-After on 429 responses.
+	latEWMA float64
 }
 
-// New starts a manager and its runner pool.
+// New starts a manager and its runner pool. A journal in the options is
+// replayed first: jobs that were queued or running when the previous
+// process died are re-queued under their original IDs before the
+// runners start, so a crashed server resumes exactly where it stopped.
 func New(opts Options) *Manager {
 	if opts.Runners <= 0 {
 		opts.Runners = 1
@@ -104,14 +145,26 @@ func New(opts Options) *Manager {
 		ctx:    ctx,
 		cancel: cancel,
 		jobs:   make(map[string]*Job),
+		jnl:    opts.Journal,
 	}
 	m.cond = sync.NewCond(&m.mu)
+	m.met = newManagerMetrics(m, opts.Metrics)
+	replayed := 0
+	for _, sub := range opts.Journal.Pending() {
+		if m.restore(sub) {
+			replayed++
+		}
+	}
+	m.met.replayed.Set(float64(replayed))
 	for i := 0; i < opts.Runners; i++ {
 		m.wg.Add(1)
-		go m.runLoop()
+		go m.runLoop(i)
 	}
 	return m
 }
+
+// Metrics returns the manager's instrument registry (GET /metrics).
+func (m *Manager) Metrics() *metrics.Registry { return m.met.reg }
 
 // Cache returns the manager's result store (may be nil).
 func (m *Manager) Cache() *resultcache.Cache { return m.opts.Cache }
@@ -139,7 +192,23 @@ func (m *Manager) Close() {
 	}
 }
 
-func (m *Manager) runLoop() {
+// Kill stops the manager as a crash would: the journal is detached and
+// its handle closed *before* anything is cancelled, so the shutdown
+// fallout writes no terminal states and the on-disk log is left exactly
+// as a SIGKILL mid-run would leave it — queued and running jobs still
+// live, ready for the next Manager over the same path to replay. The
+// in-process resources are still released (runners drained, contexts
+// cancelled), so tests can Kill without leaking goroutines.
+func (m *Manager) Kill() {
+	m.mu.Lock()
+	jnl := m.jnl
+	m.jnl = nil
+	m.mu.Unlock()
+	jnl.Close()
+	m.Close()
+}
+
+func (m *Manager) runLoop(runner int) {
 	defer m.wg.Done()
 	for {
 		m.mu.Lock()
@@ -153,14 +222,14 @@ func (m *Manager) runLoop() {
 		j := m.pending[0]
 		m.pending = m.pending[1:]
 		m.mu.Unlock()
-		m.execute(j)
+		m.execute(runner, j)
 	}
 }
 
 // execute runs one job, translating panics (including the harness's
 // re-panicked task failures and context cancellations) into a Failed
 // state so a bad run can never kill the server.
-func (m *Manager) execute(j *Job) {
+func (m *Manager) execute(runner int, j *Job) {
 	// Every exit leaves the job terminal: release its context (a
 	// cancelCtx stays registered on the manager's root context until
 	// cancelled — a leak over a long-lived server otherwise) and let
@@ -170,13 +239,18 @@ func (m *Manager) execute(j *Job) {
 		m.noteTerminal(j.id)
 	}()
 	if err := j.ctx.Err(); err != nil {
-		j.fail(err)
+		m.failJob(j, err)
 		return
 	}
 	j.update(func(j *Job) {
 		j.state = Running
 		j.started = time.Now()
 	})
+	m.journalState(j, Running)
+	label := strconv.Itoa(runner)
+	m.met.runnerBusy.With(label).Set(1)
+	instrBefore := sim.SimulatedInstructions()
+	start := time.Now()
 	var (
 		body []byte
 		err  error
@@ -189,11 +263,21 @@ func (m *Manager) execute(j *Job) {
 		}()
 		body, err = j.run(j.ctx, j)
 	}()
+	dur := time.Since(start)
+	m.met.runnerBusy.With(label).Set(0)
+	if secs := dur.Seconds(); secs > 0 {
+		// Approximate attribution: the instruction counter is
+		// process-wide, so with overlapping runners this over-counts —
+		// exact whenever runners don't overlap (see DESIGN.md,
+		// "Operations").
+		m.met.runnerMIPS.With(label).Set(float64(sim.SimulatedInstructions()-instrBefore) / secs / 1e6)
+	}
+	m.noteLatency(dur)
 	if err == nil {
 		err = j.ctx.Err() // a cancelled job that limped to a result still failed
 	}
 	if err != nil {
-		j.fail(err)
+		m.failJob(j, err)
 		return
 	}
 	j.update(func(j *Job) {
@@ -201,11 +285,77 @@ func (m *Manager) execute(j *Job) {
 		j.result = body
 		j.finished = time.Now()
 	})
+	m.journalState(j, Done)
+	m.met.completed.With(string(Done)).Inc()
 }
 
-// submit registers and enqueues a job; kind and total label it, run
-// produces the result body.
+// failJob marks a job Failed, journals the transition and counts it.
+func (m *Manager) failJob(j *Job, err error) {
+	j.fail(err)
+	m.journalState(j, Failed)
+	m.met.completed.With(string(Failed)).Inc()
+}
+
+// journalState persists one state transition for a journaled job. While
+// the manager is shutting down nothing is written: a job failed by
+// shutdown cancellation is not failed in the journal's eyes — the next
+// process replays and resumes it, which is exactly the crash-safety
+// contract (and makes graceful restarts resume too).
+func (m *Manager) journalState(j *Job, s State) {
+	if j.sub == nil || m.ctx.Err() != nil {
+		return
+	}
+	m.mu.Lock()
+	jnl := m.jnl
+	m.mu.Unlock()
+	if jnl == nil {
+		return
+	}
+	if jnl.State(j.id, string(s)) != nil {
+		m.met.journalErrors.Inc()
+	}
+}
+
+// noteLatency folds one executed job's duration into the latency EWMA.
+func (m *Manager) noteLatency(d time.Duration) {
+	m.mu.Lock()
+	if m.latEWMA == 0 {
+		m.latEWMA = d.Seconds()
+	} else {
+		m.latEWMA = 0.7*m.latEWMA + 0.3*d.Seconds()
+	}
+	m.mu.Unlock()
+}
+
+// RetryAfter estimates how long a rejected client should wait before
+// retrying: the current queue drained at the recent per-job latency
+// across the runner pool, floored at one second (whole seconds, as the
+// Retry-After header wants).
+func (m *Manager) RetryAfter() time.Duration {
+	m.mu.Lock()
+	depth := len(m.pending)
+	lat := m.latEWMA
+	m.mu.Unlock()
+	if lat == 0 {
+		lat = 1
+	}
+	secs := lat * float64(depth+1) / float64(m.opts.Runners)
+	if secs < 1 {
+		secs = 1
+	}
+	return time.Duration(math.Ceil(secs)) * time.Second
+}
+
+// submit registers and enqueues an anonymous, unjournaled job; kind and
+// total label it, run produces the result body.
 func (m *Manager) submit(kind string, total int, run func(ctx context.Context, j *Job) ([]byte, error)) (*Job, error) {
+	return m.enqueue("", nil, kind, total, run)
+}
+
+// enqueue registers and enqueues a job. A non-empty client is charged
+// against the per-client quota; a non-nil sub is persisted to the
+// journal (its ID is filled in here) so the job survives a crash.
+func (m *Manager) enqueue(client string, sub *journal.Submit, kind string, total int, run func(ctx context.Context, j *Job) ([]byte, error)) (*Job, error) {
 	jctx, jcancel := context.WithCancel(m.ctx)
 	m.mu.Lock()
 	if m.closed || len(m.pending) >= m.opts.QueueDepth {
@@ -215,12 +365,29 @@ func (m *Manager) submit(kind string, total int, run func(ctx context.Context, j
 		if closed {
 			return nil, errors.New("service: manager closed")
 		}
+		m.met.rejected.With("queue").Inc()
 		return nil, ErrQueueFull
+	}
+	if client != "" && m.opts.ClientQuota > 0 {
+		queued := 0
+		for _, q := range m.pending {
+			if q.client == client {
+				queued++
+			}
+		}
+		if queued >= m.opts.ClientQuota {
+			m.mu.Unlock()
+			jcancel()
+			m.met.rejected.With("quota").Inc()
+			return nil, fmt.Errorf("%w: client %q already holds %d queued jobs", ErrQuota, client, queued)
+		}
 	}
 	m.seq++
 	j := &Job{
 		id:      fmt.Sprintf("j%06d", m.seq),
 		kind:    kind,
+		client:  client,
+		sub:     sub,
 		state:   Queued,
 		total:   total,
 		created: time.Now(),
@@ -229,25 +396,156 @@ func (m *Manager) submit(kind string, total int, run func(ctx context.Context, j
 		watch:   make(chan struct{}),
 		run:     run,
 	}
+	if sub != nil {
+		sub.ID = j.id
+		sub.Client = client
+	}
 	m.jobs[j.id] = j
 	m.pending = append(m.pending, j)
 	m.pruneLocked()
 	m.cond.Signal()
+	jnl := m.jnl
 	m.mu.Unlock()
+	m.met.submitted.With(kindLabel(kind)).Inc()
+	// The fsync happens outside the queue lock: a slow disk delays this
+	// submitter's acknowledgement, never the runner pool. A failed
+	// append degrades persistence (counted, job still runs) rather than
+	// failing the submission.
+	if sub != nil && jnl != nil {
+		if jnl.Submit(*sub) != nil {
+			m.met.journalErrors.Inc()
+		}
+	}
 	return j, nil
 }
 
-// SubmitRun enqueues one simulation run. It executes through the
-// stepped session (RunStream with no observer): byte-identical to
+// kindLabel collapses "experiment:<name>" into one metric label value
+// per job family, keeping the submitted-counter cardinality bounded.
+func kindLabel(kind string) string {
+	if k, _, ok := strings.Cut(kind, ":"); ok {
+		return k
+	}
+	return kind
+}
+
+// jobFor reconstructs a journaled submission into its executable form:
+// the display kind, the progress total, and the run closure. It is the
+// single translation both live submissions and journal replay use, so a
+// replayed job is — by construction — the same computation its original
+// submission described.
+func (m *Manager) jobFor(sub *journal.Submit) (kind string, total int, run func(ctx context.Context, j *Job) ([]byte, error), err error) {
+	switch sub.Kind {
+	case journal.KindRun:
+		if sub.Run == nil {
+			return "", 0, nil, errors.New("service: run submission without a request")
+		}
+		if err := sub.Run.Validate(); err != nil {
+			return "", 0, nil, err
+		}
+		return "run", 1, m.runRun(*sub.Run), nil
+	case journal.KindStream:
+		if sub.Run == nil {
+			return "", 0, nil, errors.New("service: stream submission without a request")
+		}
+		if err := sub.Run.Validate(); err != nil {
+			return "", 0, nil, err
+		}
+		return "stream", 1, m.runStream(*sub.Run), nil
+	case journal.KindBatch:
+		if len(sub.Runs) == 0 {
+			return "", 0, nil, errors.New("service: empty batch")
+		}
+		if len(sub.Runs) > maxBatchRuns {
+			return "", 0, nil, fmt.Errorf("service: batch of %d runs exceeds the %d-run bound", len(sub.Runs), maxBatchRuns)
+		}
+		for i, r := range sub.Runs {
+			if err := r.Validate(); err != nil {
+				return "", 0, nil, fmt.Errorf("run %d: %w", i, err)
+			}
+		}
+		return "batch", len(sub.Runs), m.runBatch(sub.Runs), nil
+	case journal.KindExperiment:
+		if sub.Experiment == nil {
+			return "", 0, nil, errors.New("service: experiment submission without a request")
+		}
+		if err := sub.Experiment.Validate(); err != nil {
+			return "", 0, nil, err
+		}
+		return "experiment:" + sub.Experiment.Name, 0, m.runExperiment(*sub.Experiment), nil
+	}
+	return "", 0, nil, fmt.Errorf("service: unknown journaled job kind %q", sub.Kind)
+}
+
+// restore re-queues one journaled job under its original ID, reporting
+// whether it was re-queued. A submission that no longer validates (the
+// registry changed across the restart) lands in the table as Failed —
+// visible to its watchers, dropped at the next compaction — instead of
+// blocking startup.
+func (m *Manager) restore(sub journal.Submit) bool {
+	seq := 0
+	if n, err := strconv.Atoi(strings.TrimPrefix(sub.ID, "j")); err == nil {
+		seq = n
+	}
+	kind, total, run, ferr := m.jobFor(&sub)
+	jctx, jcancel := context.WithCancel(m.ctx)
+	j := &Job{
+		id:      sub.ID,
+		kind:    kind,
+		client:  sub.Client,
+		sub:     &sub,
+		state:   Queued,
+		total:   total,
+		created: time.Now(),
+		ctx:     jctx,
+		cancel:  jcancel,
+		watch:   make(chan struct{}),
+		run:     run,
+	}
+	if ferr != nil {
+		j.kind = sub.Kind
+	}
+	m.mu.Lock()
+	if _, dup := m.jobs[j.id]; dup || j.id == "" {
+		m.mu.Unlock()
+		jcancel()
+		return false
+	}
+	if seq > m.seq {
+		m.seq = seq
+	}
+	m.jobs[j.id] = j
+	if ferr == nil {
+		m.pending = append(m.pending, j)
+		m.cond.Signal()
+	}
+	m.mu.Unlock()
+	if ferr != nil {
+		jcancel()
+		m.failJob(j, fmt.Errorf("journal replay: %w", ferr))
+		m.noteTerminal(j.id)
+		return false
+	}
+	return true
+}
+
+// submitAs validates and enqueues one journaled submission on behalf of
+// client — the shared entry behind every Submit*As method.
+func (m *Manager) submitAs(client string, sub *journal.Submit) (*Job, error) {
+	kind, total, run, err := m.jobFor(sub)
+	if err != nil {
+		return nil, err
+	}
+	return m.enqueue(client, sub, kind, total, run)
+}
+
+// runRun is the run closure of a single-run job. It executes through
+// the stepped session (RunStream with no observer): byte-identical to
 // RunCachedBytes by the session contract, but the job's context is
 // consulted every control interval, so cancellation — DELETE, a
 // departed synchronous client, shutdown — aborts the simulation at the
 // next interval boundary instead of after the full window.
-func (m *Manager) SubmitRun(r wire.RunRequest) (*Job, error) {
-	if err := r.Validate(); err != nil {
-		return nil, err
-	}
-	return m.submit("run", 1, func(ctx context.Context, j *Job) ([]byte, error) {
+func (m *Manager) runRun(r wire.RunRequest) func(ctx context.Context, j *Job) ([]byte, error) {
+	return func(ctx context.Context, j *Job) ([]byte, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -261,23 +559,32 @@ func (m *Manager) SubmitRun(r wire.RunRequest) (*Job, error) {
 			j.hit = hit
 		})
 		return body, nil
-	})
+	}
 }
 
-// SubmitStream enqueues one simulation run whose measured control
+// SubmitRun enqueues one simulation run (see runRun for its execution
+// contract).
+func (m *Manager) SubmitRun(r wire.RunRequest) (*Job, error) {
+	return m.SubmitRunAs("", r)
+}
+
+// SubmitRunAs is SubmitRun with a client identity: the submission is
+// charged against the per-client quota and journaled for crash replay.
+func (m *Manager) SubmitRunAs(client string, r wire.RunRequest) (*Job, error) {
+	return m.submitAs(client, &journal.Submit{Kind: journal.KindRun, Run: &r})
+}
+
+// runStream is the run closure of a stream job: the measured control
 // intervals are published on the job as they are produced (the backing
-// of the service's "stream" run mode): watchers drain them with
+// of the service's "stream" run mode), watchers drain them with
 // IntervalsSince, interleaved with the usual progress snapshots.
 // Cancellation — DELETE, a departed client, shutdown — closes the
 // stepped session at the next interval boundary; the partial result is
 // discarded and the job reports Failed with the context error. A
 // completed streamed run stores bytes identical to a one-shot run of
 // the same request, so the follow-up identical request is a cache hit.
-func (m *Manager) SubmitStream(r wire.RunRequest) (*Job, error) {
-	if err := r.Validate(); err != nil {
-		return nil, err
-	}
-	return m.submit("stream", 1, func(ctx context.Context, j *Job) ([]byte, error) {
+func (m *Manager) runStream(r wire.RunRequest) func(ctx context.Context, j *Job) ([]byte, error) {
+	return func(ctx context.Context, j *Job) ([]byte, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -293,25 +600,26 @@ func (m *Manager) SubmitStream(r wire.RunRequest) (*Job, error) {
 			j.hit = hit
 		})
 		return body, nil
-	})
+	}
 }
 
-// SubmitBatch enqueues a set of runs fanned out through mcd.RunBatch on
-// the manager's worker bound and result store; the result body is a
-// JSON array of canonical result encodings in submission order.
-func (m *Manager) SubmitBatch(reqs []wire.RunRequest) (*Job, error) {
-	if len(reqs) == 0 {
-		return nil, errors.New("service: empty batch")
-	}
-	if len(reqs) > maxBatchRuns {
-		return nil, fmt.Errorf("service: batch of %d runs exceeds the %d-run bound", len(reqs), maxBatchRuns)
-	}
-	for i, r := range reqs {
-		if err := r.Validate(); err != nil {
-			return nil, fmt.Errorf("run %d: %w", i, err)
-		}
-	}
-	return m.submit("batch", len(reqs), func(ctx context.Context, j *Job) ([]byte, error) {
+// SubmitStream enqueues one streamed simulation run (see runStream).
+func (m *Manager) SubmitStream(r wire.RunRequest) (*Job, error) {
+	return m.SubmitStreamAs("", r)
+}
+
+// SubmitStreamAs is SubmitStream with a client identity for quota
+// accounting and crash-replayable journaling.
+func (m *Manager) SubmitStreamAs(client string, r wire.RunRequest) (*Job, error) {
+	return m.submitAs(client, &journal.Submit{Kind: journal.KindStream, Run: &r})
+}
+
+// runBatch is the run closure of a batch job: the runs fan out through
+// mcd.RunBatch on the manager's worker bound and result store; the
+// result body is a JSON array of canonical result encodings in
+// submission order.
+func (m *Manager) runBatch(reqs []wire.RunRequest) func(ctx context.Context, j *Job) ([]byte, error) {
+	return func(ctx context.Context, j *Job) ([]byte, error) {
 		// Each run keeps its canonical body (indexes are distinct, so
 		// the slice needs no lock); the assembled array reuses those
 		// bytes instead of a decode/re-encode round trip per run.
@@ -351,16 +659,24 @@ func (m *Manager) SubmitBatch(reqs []wire.RunRequest) (*Job, error) {
 			return nil, err
 		}
 		return append(body, '\n'), nil
-	})
+	}
 }
 
-// SubmitExperiment enqueues a whole table/figure/sweep; the result body
-// is the canonical wire.ExperimentResult encoding.
-func (m *Manager) SubmitExperiment(e wire.ExperimentRequest) (*Job, error) {
-	if err := e.Validate(); err != nil {
-		return nil, err
-	}
-	return m.submit("experiment:"+e.Name, 0, func(ctx context.Context, j *Job) ([]byte, error) {
+// SubmitBatch enqueues a set of runs (see runBatch).
+func (m *Manager) SubmitBatch(reqs []wire.RunRequest) (*Job, error) {
+	return m.SubmitBatchAs("", reqs)
+}
+
+// SubmitBatchAs is SubmitBatch with a client identity for quota
+// accounting and crash-replayable journaling.
+func (m *Manager) SubmitBatchAs(client string, reqs []wire.RunRequest) (*Job, error) {
+	return m.submitAs(client, &journal.Submit{Kind: journal.KindBatch, Runs: reqs})
+}
+
+// runExperiment is the run closure of a whole table/figure/sweep; the
+// result body is the canonical wire.ExperimentResult encoding.
+func (m *Manager) runExperiment(e wire.ExperimentRequest) func(ctx context.Context, j *Job) ([]byte, error) {
+	return func(ctx context.Context, j *Job) ([]byte, error) {
 		opts := e.Options()
 		opts.Workers = m.opts.Workers
 		opts.Cache = m.opts.Cache
@@ -373,7 +689,18 @@ func (m *Manager) SubmitExperiment(e wire.ExperimentRequest) (*Job, error) {
 			return nil, err
 		}
 		return wire.EncodeExperiment(res)
-	})
+	}
+}
+
+// SubmitExperiment enqueues a whole experiment (see runExperiment).
+func (m *Manager) SubmitExperiment(e wire.ExperimentRequest) (*Job, error) {
+	return m.SubmitExperimentAs("", e)
+}
+
+// SubmitExperimentAs is SubmitExperiment with a client identity for
+// quota accounting and crash-replayable journaling.
+func (m *Manager) SubmitExperimentAs(client string, e wire.ExperimentRequest) (*Job, error) {
+	return m.submitAs(client, &journal.Submit{Kind: journal.KindExperiment, Experiment: &e})
 }
 
 // maxTerminalIntervalLogs is how many finished jobs keep their interval
@@ -384,8 +711,11 @@ func (m *Manager) SubmitExperiment(e wire.ExperimentRequest) (*Job, error) {
 // watcher sees an explicit gap frame instead.
 const maxTerminalIntervalLogs = 8
 
-// noteTerminal records a finished job for the pruner and releases the
-// interval log of the job that just aged past the retained window.
+// noteTerminal records a finished job for the pruner, releases the
+// interval log of the job that just aged past the retained window, and
+// — when enough terminal history has accumulated — compacts the journal
+// down to the still-live submissions. The live set is gathered under
+// the lock; the rewrite (disk I/O) happens outside it.
 func (m *Manager) noteTerminal(id string) {
 	m.mu.Lock()
 	m.terminal = append(m.terminal, id)
@@ -395,7 +725,44 @@ func (m *Manager) noteTerminal(id string) {
 		}
 	}
 	m.pruneLocked()
+	jnl := m.jnl
+	var live []journal.Submit
+	compact := jnl.ShouldCompact()
+	if compact {
+		live = m.liveSubmitsLocked()
+	}
 	m.mu.Unlock()
+	if compact {
+		if jnl.Compact(live) != nil {
+			m.met.journalErrors.Inc()
+		}
+	}
+}
+
+// liveSubmitsLocked snapshots the journaled submissions of every job
+// still queued or running, in submission order — the survivor set a
+// journal compaction keeps. Callers hold m.mu.
+func (m *Manager) liveSubmitsLocked() []journal.Submit {
+	var live []journal.Submit
+	for _, j := range m.jobs {
+		if j.sub == nil {
+			continue
+		}
+		j.mu.Lock()
+		s := j.state
+		j.mu.Unlock()
+		if s == Queued || s == Running {
+			live = append(live, *j.sub)
+		}
+	}
+	sort.Slice(live, func(a, b int) bool {
+		x, y := live[a].ID, live[b].ID
+		if len(x) != len(y) {
+			return len(x) < len(y)
+		}
+		return x < y
+	})
+	return live
 }
 
 // pruneLocked drops the oldest-finished jobs (and their result bodies)
@@ -436,8 +803,12 @@ func (m *Manager) Cancel(id string) bool {
 	}
 	m.mu.Unlock()
 	j.cancel()
+	m.met.cancelled.Inc()
 	if dequeued {
-		j.fail(context.Canceled)
+		// An explicit user cancel is terminal in the journal too: unlike a
+		// shutdown cancellation, the job must not resurrect at the next
+		// restart.
+		m.failJob(j, context.Canceled)
 		m.noteTerminal(j.id)
 	}
 	return true
@@ -471,8 +842,10 @@ func (m *Manager) Jobs() []Snapshot {
 // Job is one unit of queued work. All fields are guarded by mu and read
 // through Snapshot.
 type Job struct {
-	id   string
-	kind string
+	id     string
+	kind   string
+	client string          // quota identity; empty for direct library use
+	sub    *journal.Submit // journaled submission; nil for unjournaled jobs
 
 	ctx    context.Context
 	cancel context.CancelFunc
