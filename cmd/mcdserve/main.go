@@ -20,6 +20,7 @@
 //	curl -d '{"name":"sweep-controller","controller":"coord","param":"budget_mhz","quick":true}' localhost:8080/v1/experiments
 //	curl localhost:8080/v1/jobs/j000001/events        # NDJSON progress
 //	curl localhost:8080/v1/jobs/j000001/result
+//	curl localhost:8080/v1/jobs/j000001/trace         # Chrome trace-event JSON (needs -trace)
 //	curl localhost:8080/v1/cache/stats
 //	curl localhost:8080/metrics                       # Prometheus text format
 //
@@ -29,6 +30,21 @@
 // the determinism contract (completed cells come straight from the
 // result cache). -client-quota N bounds the queued jobs one client (the
 // X-Client header, or the remote address) may hold at once.
+//
+// Observability:
+//
+//   - -trace arms the flight recorder: per-job lifecycle spans and the
+//     per-interval controller decision audit, exported as Chrome
+//     trace-event JSON at /v1/jobs/{id}/trace and /debug/trace (open in
+//     ui.perfetto.dev). Off by default; the untraced hot path records
+//     nothing and takes no timestamps.
+//   - -log-format selects text (default) or json structured logs on
+//     stderr; job logs carry job, client and spec_key attributes.
+//   - -pprof ADDR serves net/http/pprof on a second listener, kept off
+//     the public API address (see internal/prof for the offline
+//     profiling harness the endpoints complement).
+//   - mcdtop (cmd/mcdtop) is the matching fleet console: it polls
+//     /metrics and tails /events into a terminal dashboard.
 package main
 
 import (
@@ -36,8 +52,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -48,69 +66,143 @@ import (
 	"mcd/internal/journal"
 	"mcd/internal/resultcache"
 	"mcd/internal/service"
+	"mcd/internal/trace"
 )
 
+// traceRingDepth bounds the process-wide /debug/trace ring: enough for
+// the recent history of a busy fleet, fixed so the recorder can never
+// grow with uptime.
+const traceRingDepth = 8192
+
+type options struct {
+	addr      string
+	cacheDir  string
+	cacheMem  int64
+	workers   int
+	runners   int
+	queue     int
+	journalD  string
+	quota     int
+	traceOn   bool
+	logFormat string
+	pprofAddr string
+}
+
 func main() {
-	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		cacheDir = flag.String("cache", "", "result-store directory (empty: memory tier only)")
-		cacheMem = flag.Int64("cache-mem", 0, "in-memory result-store bound in bytes (0: default 64 MiB, <0: disk only)")
-		workers  = flag.Int("workers", runtime.NumCPU(), "parallel simulations per job")
-		runners  = flag.Int("runners", 2, "jobs executing concurrently")
-		queue    = flag.Int("queue", 64, "queued-job bound; beyond it submissions get 429")
-		journalD = flag.String("journal", "", "job-journal directory; submitted jobs survive crashes and restarts (empty: no persistence)")
-		quota    = flag.Int("client-quota", 0, "queued jobs one client may hold at once (0: unlimited)")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.cacheDir, "cache", "", "result-store directory (empty: memory tier only)")
+	flag.Int64Var(&o.cacheMem, "cache-mem", 0, "in-memory result-store bound in bytes (0: default 64 MiB, <0: disk only)")
+	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "parallel simulations per job")
+	flag.IntVar(&o.runners, "runners", 2, "jobs executing concurrently")
+	flag.IntVar(&o.queue, "queue", 64, "queued-job bound; beyond it submissions get 429")
+	flag.StringVar(&o.journalD, "journal", "", "job-journal directory; submitted jobs survive crashes and restarts (empty: no persistence)")
+	flag.IntVar(&o.quota, "client-quota", 0, "queued jobs one client may hold at once (0: unlimited)")
+	flag.BoolVar(&o.traceOn, "trace", false, "arm the flight recorder: lifecycle spans and controller decision audit at /v1/jobs/{id}/trace and /debug/trace")
+	flag.StringVar(&o.logFormat, "log-format", "text", "structured log encoding on stderr: text or json")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this extra address (empty: off)")
 	flag.Parse()
-	if err := run(*addr, *cacheDir, *cacheMem, *workers, *runners, *queue, *journalD, *quota); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "mcdserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, cacheDir string, cacheMem int64, workers, runners, queue int, journalDir string, quota int) error {
-	cache, err := resultcache.New(resultcache.Options{Dir: cacheDir, MaxMemBytes: cacheMem})
+// newLogger builds the process logger for -log-format.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (text or json)", format)
+	}
+}
+
+// servePprof exposes the runtime profiling endpoints on their own
+// listener so they never ride the public API address. Returns the
+// bound address (for the startup log) or an error if the listen fails
+// — a misconfigured -pprof should fail loudly, not silently profile
+// nothing.
+func servePprof(addr string, logger *slog.Logger) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("pprof listen: %w", err)
+	}
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			logger.Warn("pprof server stopped", "err", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+func run(o options) error {
+	logger, err := newLogger(o.logFormat)
+	if err != nil {
+		return err
+	}
+	cache, err := resultcache.New(resultcache.Options{Dir: o.cacheDir, MaxMemBytes: o.cacheMem})
 	if err != nil {
 		return err
 	}
 	var jnl *journal.Journal
-	if journalDir != "" {
-		jnl, err = journal.Open(filepath.Join(journalDir, "jobs.ndjson"))
+	if o.journalD != "" {
+		jnl, err = journal.Open(filepath.Join(o.journalD, "jobs.ndjson"))
 		if err != nil {
 			return err
 		}
-		if n := len(jnl.Pending()); n > 0 {
-			log.Printf("mcdserve: journal replay re-queueing %d interrupted job(s)", n)
-		}
+	}
+	var ring *trace.Ring
+	if o.traceOn {
+		ring = trace.NewRing(traceRingDepth)
 	}
 	// No deferred Close: the shutdown path below closes the manager
 	// with a bounded wait, and every other exit ends the process, which
 	// reaps the workers anyway.
 	mgr := service.New(service.Options{
-		Runners:     runners,
-		QueueDepth:  queue,
-		Workers:     workers,
+		Runners:     o.runners,
+		QueueDepth:  o.queue,
+		Workers:     o.workers,
 		Cache:       cache,
 		Journal:     jnl,
-		ClientQuota: quota,
+		ClientQuota: o.quota,
+		Trace:       ring,
+		Logger:      logger,
 	})
 
-	srv := &http.Server{Addr: addr, Handler: service.NewHandler(mgr)}
+	if o.pprofAddr != "" {
+		bound, err := servePprof(o.pprofAddr, logger)
+		if err != nil {
+			return err
+		}
+		logger.Info("pprof listening", "addr", bound)
+	}
+
+	srv := &http.Server{Addr: o.addr, Handler: service.NewHandler(mgr)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("mcdserve: listening on %s (cache dir %q, %d workers, %d runners)",
-		addr, cacheDir, workers, runners)
+	logger.Info("listening",
+		"addr", o.addr, "cache_dir", o.cacheDir,
+		"workers", o.workers, "runners", o.runners, "trace", o.traceOn)
 
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("mcdserve: shutting down")
+	logger.Info("shutting down")
 	// Close the manager first: failing every job lands each watcher on
 	// a terminal snapshot, so open NDJSON streams and synchronous run
 	// waits end immediately — otherwise Shutdown (which does not cancel
@@ -124,7 +216,7 @@ func run(addr, cacheDir string, cacheMem int64, workers, runners, queue int, jou
 	select {
 	case <-closed:
 	case <-time.After(10 * time.Second):
-		log.Printf("mcdserve: a running simulation outlived the close deadline; abandoning it")
+		logger.Warn("a running simulation outlived the close deadline; abandoning it")
 	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

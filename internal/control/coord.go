@@ -85,6 +85,14 @@ func (c *Coord) CacheKey() string {
 		h(c.stepMHz), h(c.restore), h(c.budgetMax), h(c.perfDeg), h(c.feMHz), h(c.minMHz), h(c.maxMHz))
 }
 
+// DecisionNote implements pipeline.DecisionNoter for the decision-audit
+// trail: the budget redistribution state behind the latest Observe —
+// total slack currently removed from the chip, and the IPC guard that
+// governs whether it grows or contracts.
+func (c *Coord) DecisionNote() string {
+	return fmt.Sprintf("budget_mhz=%.1f ref_ipc=%.4f ipc_ema=%.4f", c.budget, c.refIPC, c.ipcEMA)
+}
+
 // Observe implements pipeline.Controller: update the global budget from
 // the IPC guard, then split it across domains by inverse occupancy.
 func (c *Coord) Observe(iv pipeline.IntervalView) [clock.NumControllable]float64 {

@@ -86,6 +86,16 @@ func (c *PI) CacheKey() string {
 		h(c.set), h(c.kp), h(c.ki), h(c.windup), h(c.feMHz), h(c.minMHz), h(c.maxMHz))
 }
 
+// DecisionNote implements pipeline.DecisionNoter for the decision-audit
+// trail: the per-domain integral accumulators behind the latest Observe
+// (the hidden state a queue-occupancy snapshot alone cannot explain).
+func (c *PI) DecisionNote() string {
+	return fmt.Sprintf("integral int=%.2f fp=%.2f ls=%.2f",
+		c.domains[clock.Integer].integral,
+		c.domains[clock.FloatingPoint].integral,
+		c.domains[clock.LoadStore].integral)
+}
+
 // Observe implements pipeline.Controller: one PI update per controlled
 // domain per interval.
 func (c *PI) Observe(iv pipeline.IntervalView) [clock.NumControllable]float64 {

@@ -4,8 +4,9 @@
 // in the exposition format Prometheus scrapes. It exists so mcdserve is
 // observable without importing a client library the container does not
 // carry; the renderer emits only the stable v0.0.4 text subset
-// (# HELP, # TYPE, samples with at most one label) that every
-// Prometheus-compatible scraper accepts.
+// (# HELP, # TYPE, counter/gauge samples with at most one label, and
+// fixed-bucket histograms) that every Prometheus-compatible scraper
+// accepts.
 package metrics
 
 import (
@@ -22,8 +23,9 @@ import (
 
 // Metric type strings of the exposition format.
 const (
-	typeCounter = "counter"
-	typeGauge   = "gauge"
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
 )
 
 // Counter is a monotonically increasing value.
@@ -234,6 +236,79 @@ func (v *GaugeVec) With(value string) *Gauge {
 	return g
 }
 
+// Histogram counts observations into fixed cumulative buckets (the
+// exposition format's histogram type: _bucket samples with "le" upper
+// bounds, a _sum and a _count). Buckets are fixed at construction —
+// never derived from the data — so every scrape of every process
+// renders the same shape and histograms aggregate across instances.
+// Observe is mutex-guarded, not lock-free: histograms here record job
+// phases, not hot-loop events.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+
+	mu     sync.Mutex
+	counts []uint64 // per-bucket (non-cumulative) counts, len(bounds)+1
+	sum    float64
+	count  uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le semantics)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// snapshot copies the histogram's state: cumulative bucket counts in
+// bound order, then sum and count.
+func (h *Histogram) snapshot() (cum []uint64, sum float64, count uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]uint64, len(h.counts))
+	var acc uint64
+	for i, c := range h.counts {
+		acc += c
+		cum[i] = acc
+	}
+	return cum, h.sum, h.count
+}
+
+// HistogramVec is a single-label histogram family; every series shares
+// the family's fixed bucket bounds.
+type HistogramVec struct {
+	m      *metric
+	bounds []float64
+}
+
+// HistogramVec registers a labelled histogram family with the given
+// ascending upper bounds (+Inf is always appended implicitly).
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	bounds = append([]float64(nil), bounds...)
+	sort.Float64s(bounds)
+	m := &metric{name: name, help: help, typ: typeHistogram, label: label, series: map[string]any{}}
+	if r != nil {
+		r.register(m)
+	}
+	return &HistogramVec{m: m, bounds: bounds}
+}
+
+// With returns the histogram for one label value, creating it on first
+// use — touch every label at registration time so an instrument that
+// has never observed still scrapes as a zero-shaped family.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.m.mu.Lock()
+	defer v.m.mu.Unlock()
+	if h, ok := v.m.series[value]; ok {
+		return h.(*Histogram)
+	}
+	h := &Histogram{bounds: v.bounds, counts: make([]uint64, len(v.bounds)+1)}
+	v.m.series[value] = h
+	return h
+}
+
 // escapeLabel escapes a label value per the exposition format.
 func escapeLabel(s string) string {
 	s = strings.ReplaceAll(s, `\`, `\\`)
@@ -267,6 +342,12 @@ func (r *Registry) Render(w io.Writer) error {
 	r.mu.Unlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 	for _, m := range fams {
+		if m.typ == typeHistogram {
+			if err := m.renderHistogram(w); err != nil {
+				return err
+			}
+			continue
+		}
 		samples := m.sample()
 		if len(samples) == 0 {
 			continue
@@ -294,6 +375,63 @@ func (r *Registry) Render(w io.Writer) error {
 			if err != nil {
 				return err
 			}
+		}
+	}
+	return nil
+}
+
+// renderHistogram writes one histogram family: per series, cumulative
+// _bucket samples in bound order (ending at the implicit +Inf bucket),
+// then _sum and _count — the shape Prometheus's histogram_quantile
+// expects.
+func (m *metric) renderHistogram(w io.Writer) error {
+	m.mu.Lock()
+	keys := make([]string, 0, len(m.series))
+	for k := range m.series {
+		keys = append(keys, k)
+	}
+	m.mu.Unlock()
+	if len(keys) == 0 {
+		return nil
+	}
+	sort.Strings(keys)
+	if m.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		m.mu.Lock()
+		h, _ := m.series[k].(*Histogram)
+		m.mu.Unlock()
+		if h == nil {
+			continue
+		}
+		cum, sum, count := h.snapshot()
+		series := fmt.Sprintf("%s=\"%s\",", m.label, escapeLabel(k))
+		if m.label == "" {
+			series = ""
+		}
+		for i, b := range h.bounds {
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"%s\"} %d\n", m.name, series, formatValue(b), cum[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", m.name, series, cum[len(cum)-1]); err != nil {
+			return err
+		}
+		label := strings.TrimSuffix(series, ",")
+		if label != "" {
+			label = "{" + label + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.name, label, formatValue(sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, label, count); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -135,3 +135,50 @@ func TestConcurrentUpdates(t *testing.T) {
 		t.Errorf("lost updates: c=%v v=%v", c.Value(), v.With("a").Value())
 	}
 }
+
+func TestHistogramRender(t *testing.T) {
+	r := New()
+	v := r.HistogramVec("dur_seconds", "phase durations", "phase", []float64{0.1, 1, 10})
+	v.With("queue") // pre-touched: scrapes as a zero-shaped family
+	run := v.With("run")
+	run.Observe(0.05)
+	run.Observe(0.5)
+	run.Observe(5)
+	run.Observe(50)
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP dur_seconds phase durations",
+		"# TYPE dur_seconds histogram",
+		`dur_seconds_bucket{phase="queue",le="0.1"} 0`,
+		`dur_seconds_bucket{phase="queue",le="+Inf"} 0`,
+		`dur_seconds_sum{phase="queue"} 0`,
+		`dur_seconds_count{phase="queue"} 0`,
+		`dur_seconds_bucket{phase="run",le="0.1"} 1`,
+		`dur_seconds_bucket{phase="run",le="1"} 2`,
+		`dur_seconds_bucket{phase="run",le="10"} 3`,
+		`dur_seconds_bucket{phase="run",le="+Inf"} 4`,
+		`dur_seconds_sum{phase="run"} 55.55`,
+		`dur_seconds_count{phase="run"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBoundaryLandsInLeBucket(t *testing.T) {
+	r := New()
+	v := r.HistogramVec("h", "", "phase", []float64{1})
+	v.With("x").Observe(1) // le="1" is inclusive
+	out := render(t, r)
+	if !strings.Contains(out, `h_bucket{phase="x",le="1"} 1`) {
+		t.Fatalf("observation at the bound must count in its le bucket:\n%s", out)
+	}
+}
+
+func TestHistogramNilRegistry(t *testing.T) {
+	var r *Registry
+	v := r.HistogramVec("h", "", "phase", []float64{1})
+	v.With("x").Observe(2) // must not panic
+}

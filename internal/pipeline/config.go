@@ -111,6 +111,18 @@ type Controller interface {
 	Observe(iv IntervalView) (targets [clock.NumControllable]float64)
 }
 
+// DecisionNoter is an optional Controller extension consulted by the
+// serving layer's decision-audit trail: a one-line, human-readable
+// summary of the controller's internal state after its latest Observe
+// (coord reports its slack budget and IPC guard, pi its integral
+// accumulators). It is called only when tracing is enabled, at measured
+// interval boundaries — never inside the cycle loop — so implementations
+// may format freely; controllers that carry no hidden state simply
+// don't implement it.
+type DecisionNoter interface {
+	DecisionNote() string
+}
+
 // IntervalView is the per-interval information visible to a controller.
 type IntervalView struct {
 	Index        int

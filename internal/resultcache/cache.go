@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"mcd/internal/runner"
 	"mcd/internal/sim"
@@ -230,6 +231,27 @@ func (c *Cache) writeDisk(key string, b []byte) error {
 	return nil
 }
 
+// Obs observes the phases of one DoBytes call, for tracing. Every hook
+// is optional. Probe fires once the probe's outcome is known, with the
+// tier that answered: "mem", "disk", "dedup" (joined an in-flight
+// computation), or "miss"; Compute brackets the leader's computation on
+// a miss; Store brackets the disk-tier persist (err non-nil on a failed
+// write — the result was still served). A nil *Obs is the untraced
+// path: DoBytesObserved then takes no timestamps at all, so observation
+// costs nothing unless requested.
+type Obs struct {
+	Probe   func(tier string, start, end time.Time)
+	Compute func(start, end time.Time)
+	Store   func(start, end time.Time, err error)
+}
+
+// probe reports one probe outcome, nil-safe.
+func (o *Obs) probe(tier string, start time.Time) {
+	if o != nil && o.Probe != nil {
+		o.Probe(tier, start, time.Now())
+	}
+}
+
 // DoBytes returns the encoding stored under key, computing and storing
 // it on a miss. Concurrent calls with the same key are single-flighted:
 // one leader probes the disk tier and computes if needed, the rest
@@ -240,13 +262,25 @@ func (c *Cache) writeDisk(key string, b []byte) error {
 // computed request. A failed compute is not stored. On a nil cache it
 // simply computes.
 func (c *Cache) DoBytes(key string, compute func() ([]byte, error)) ([]byte, bool, error) {
+	return c.DoBytesObserved(key, compute, nil)
+}
+
+// DoBytesObserved is DoBytes with per-phase observation hooks (see
+// Obs); DoBytes is exactly DoBytesObserved with a nil *Obs.
+func (c *Cache) DoBytesObserved(key string, compute func() ([]byte, error), obs *Obs) ([]byte, bool, error) {
+	var probeStart time.Time
+	if obs != nil {
+		probeStart = time.Now()
+	}
 	if c == nil {
-		b, err := compute()
+		obs.probe("miss", probeStart)
+		b, err := ObservedCompute(compute, obs)
 		return b, false, err
 	}
 	c.mu.Lock()
 	if b, ok := c.memGetLocked(key); ok {
 		c.mu.Unlock()
+		obs.probe("mem", probeStart)
 		return b, true, nil
 	}
 	if cl, ok := c.flight[key]; ok {
@@ -258,10 +292,12 @@ func (c *Cache) DoBytes(key string, compute func() ([]byte, error)) ([]byte, boo
 		// context error is specific to that caller, not to the
 		// computation, so retry — either leading a fresh flight or
 		// joining the next one. A follower whose own compute is also
-		// cancelled still fails with its own context error.
+		// cancelled still fails with its own context error. (Each retry
+		// reports its own probe span: the retry is a real re-probe.)
 		if cl.err != nil && (errors.Is(cl.err, context.Canceled) || errors.Is(cl.err, context.DeadlineExceeded)) {
-			return c.DoBytes(key, compute)
+			return c.DoBytesObserved(key, compute, obs)
 		}
+		obs.probe("dedup", probeStart)
 		return cl.b, cl.err == nil, cl.err
 	}
 	cl := &call{done: make(chan struct{})}
@@ -286,8 +322,10 @@ func (c *Cache) DoBytes(key string, compute func() ([]byte, error)) ([]byte, boo
 	diskHit := false
 	if b, ok := c.readDisk(key); ok {
 		cl.b, diskHit = b, true
+		obs.probe("disk", probeStart)
 	} else {
-		cl.b, cl.err = compute()
+		obs.probe("miss", probeStart)
+		cl.b, cl.err = ObservedCompute(compute, obs)
 	}
 
 	c.mu.Lock()
@@ -304,13 +342,34 @@ func (c *Cache) DoBytes(key string, compute func() ([]byte, error)) ([]byte, boo
 	close(cl.done)
 
 	if cl.err == nil && !diskHit {
-		if werr := c.writeDisk(key, cl.b); werr != nil {
+		var storeStart time.Time
+		if obs != nil {
+			storeStart = time.Now()
+		}
+		werr := c.writeDisk(key, cl.b)
+		if obs != nil && obs.Store != nil {
+			obs.Store(storeStart, time.Now(), werr)
+		}
+		if werr != nil {
 			c.mu.Lock()
 			c.stats.WriteErrors++
 			c.mu.Unlock()
 		}
 	}
 	return cl.b, diskHit, cl.err
+}
+
+// ObservedCompute brackets compute with the Obs.Compute hook (nil-safe
+// on both obs and the hook) — the uncached path's share of the
+// observation surface.
+func ObservedCompute(compute func() ([]byte, error), obs *Obs) ([]byte, error) {
+	if obs == nil || obs.Compute == nil {
+		return compute()
+	}
+	start := time.Now()
+	b, err := compute()
+	obs.Compute(start, time.Now())
+	return b, err
 }
 
 // DoResult is DoBytes over a simulation: on a miss it runs, stores the

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mcd/internal/control"
+	"mcd/internal/trace"
 	"mcd/internal/wire"
 )
 
@@ -22,10 +23,12 @@ import (
 //	GET    /v1/jobs/{id}     job snapshot
 //	GET    /v1/jobs/{id}/events   NDJSON progress stream until terminal
 //	GET    /v1/jobs/{id}/result   the finished job's body
+//	GET    /v1/jobs/{id}/trace    the job's flight-recorder trace (Chrome trace-event JSON; needs Options.Trace)
 //	DELETE /v1/jobs/{id}     cancel
 //	GET    /v1/healthz       liveness
 //	GET    /v1/cache/stats   result-store counters
 //	GET    /metrics          Prometheus text-format instruments
+//	GET    /debug/trace      the rolling process-wide flight recorder (Chrome trace-event JSON)
 //
 // Synchronous single runs answer with the canonical result encoding and
 // an X-Cache: hit|miss header — the byte-identity contract makes a hit
@@ -60,6 +63,16 @@ func NewHandler(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) { handleEvents(m, w, r) })
 	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) { handleResult(m, w, r) })
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) { handleJobTrace(m, w, r) })
+	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if !m.tracing() {
+			writeError(w, http.StatusNotFound, errTracingDisabled)
+			return
+		}
+		recs, dropped := m.opts.Trace.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		trace.WriteChrome(w, recs, dropped)
+	})
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		j, ok := m.Job(r.PathValue("id"))
 		if !ok {
@@ -212,8 +225,9 @@ func handleStreamRun(m *Manager, w http.ResponseWriter, r *http.Request, req wir
 		next = n
 		if dropped > 0 {
 			// This consumer outran the bounded interval log; the gap is
-			// explicit in the stream, never silent.
-			m.met.gapFrames.Inc()
+			// explicit in the stream, never silent, and the metric counts
+			// exactly the records each gap frame reports dropped.
+			m.met.gapFrames.Add(float64(dropped))
 			if enc.Encode(wire.GapFrame(dropped)) != nil {
 				m.Cancel(j.ID())
 				return
@@ -246,6 +260,31 @@ func handleStreamRun(m *Manager, w http.ResponseWriter, r *http.Request, req wir
 			return
 		}
 	}
+}
+
+// errTracingDisabled answers trace requests on an untraced server.
+var errTracingDisabled = errors.New("tracing disabled (start mcdserve with -trace)")
+
+// handleJobTrace serves one job's flight-recorder trace as Chrome
+// trace-event JSON — drag the body into Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Lifecycle spans (queue wait, cache probe, run,
+// store write) render on a wall-clock track; the controller decision
+// audit renders on a simulated-time track with per-domain frequency and
+// occupancy counters. A trace that aged past the retained window
+// answers with an empty (but valid) document.
+func handleJobTrace(m *Manager, w http.ResponseWriter, r *http.Request) {
+	j, ok := m.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	if !m.tracing() {
+		writeError(w, http.StatusNotFound, errTracingDisabled)
+		return
+	}
+	recs, dropped := j.Trace().Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	trace.WriteChrome(w, recs, dropped)
 }
 
 func handleExperiments(m *Manager, w http.ResponseWriter, r *http.Request) {
@@ -285,7 +324,7 @@ func handleEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
 		ivs, n, dropped := j.IntervalsSince(next)
 		next = n
 		if dropped > 0 {
-			m.met.gapFrames.Inc()
+			m.met.gapFrames.Add(float64(dropped))
 			if enc.Encode(wire.GapFrame(dropped)) != nil {
 				return
 			}

@@ -20,11 +20,20 @@ type managerMetrics struct {
 	rejected      *metrics.CounterVec // 429s, by reason: queue | quota
 	cancelled     *metrics.Counter
 	completed     *metrics.CounterVec // terminal jobs, by state: done | failed
-	gapFrames     *metrics.Counter
+	gapFrames     *metrics.Counter    // interval records dropped past the log bound
 	journalErrors *metrics.Counter
 	replayed      *metrics.Gauge
 	runnerBusy    *metrics.GaugeVec
 	runnerMIPS    *metrics.GaugeVec
+	jobDuration   *metrics.HistogramVec // seconds, by phase: queue | run
+}
+
+// jobDurationBuckets are the fixed upper bounds of the job-duration
+// histogram: sub-10 ms cache hits through multi-minute experiments.
+// Fixed — never derived from traffic — so histograms aggregate across
+// servers and a scrape's shape never changes.
+var jobDurationBuckets = []float64{
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
 }
 
 // newManagerMetrics registers the manager's instruments on reg (a
@@ -40,11 +49,12 @@ func newManagerMetrics(m *Manager, reg *metrics.Registry) *managerMetrics {
 		rejected:      reg.CounterVec("mcd_jobs_rejected_total", "Submissions rejected with 429, by reason: queue (depth exhausted) or quota (per-client bound).", "reason"),
 		cancelled:     reg.Counter("mcd_jobs_cancelled_total", "Cancel requests accepted for known jobs."),
 		completed:     reg.CounterVec("mcd_jobs_completed_total", "Jobs that reached a terminal state, by state.", "state"),
-		gapFrames:     reg.Counter("mcd_stream_gap_frames_total", "Gap frames sent to lagging stream consumers (interval records dropped past the log bound)."),
+		gapFrames:     reg.Counter("mcd_stream_gap_frames_total", "Interval records dropped past the bounded per-job log and reported to lagging stream consumers as explicit gap frames."),
 		journalErrors: reg.Counter("mcd_journal_errors_total", "Journal appends or compactions that failed; persistence degraded but the jobs still ran."),
 		replayed:      reg.Gauge("mcd_journal_replayed_jobs", "Jobs re-queued from the journal at the last startup."),
 		runnerBusy:    reg.GaugeVec("mcd_runner_busy", "Whether the runner is executing a job (1) or idle (0).", "runner"),
 		runnerMIPS:    reg.GaugeVec("mcd_runner_sim_mips", "Simulated MIPS of the runner's most recent job; approximate when runners overlap (the instruction counter is process-wide).", "runner"),
+		jobDuration:   reg.HistogramVec("mcd_job_duration_seconds", "Job phase durations: queue (submission to start) and run (start to terminal).", "phase", jobDurationBuckets),
 	}
 	// Pre-touch the closed label sets so every scrape carries the full
 	// family shape from the first request on — a counter that has never
@@ -57,6 +67,9 @@ func newManagerMetrics(m *Manager, reg *metrics.Registry) *managerMetrics {
 	}
 	for _, state := range []string{string(Done), string(Failed)} {
 		mm.completed.With(state)
+	}
+	for _, phase := range []string{"queue", "run"} {
+		mm.jobDuration.With(phase)
 	}
 	reg.GaugeFunc("mcd_queue_depth", "Jobs waiting for a runner.", m.queueDepth)
 	reg.GaugeVecFunc("mcd_jobs", "Jobs in the table, by state.", "state", m.stateCounts)

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"strconv"
@@ -25,6 +26,7 @@ import (
 	"mcd/internal/resultcache"
 	"mcd/internal/sim"
 	"mcd/internal/stats"
+	"mcd/internal/trace"
 	"mcd/internal/wire"
 )
 
@@ -90,6 +92,17 @@ type Options struct {
 	// Metrics receives the manager's instruments; nil creates a private
 	// registry (reachable via Manager.Metrics, served at GET /metrics).
 	Metrics *metrics.Registry
+	// Trace, if non-nil, enables the flight recorder: job lifecycle
+	// spans and per-interval controller decision records land in this
+	// process-wide ring (GET /debug/trace) and in a bounded per-job
+	// trace (GET /v1/jobs/{id}/trace, Chrome trace-event JSON). Nil —
+	// the default — disables tracing entirely: no records, no
+	// timestamps, no allocations on any path.
+	Trace *trace.Ring
+	// Logger receives structured job lifecycle logs (submissions,
+	// starts, terminal states, journal degradation) with job-ID, client
+	// and spec-key attributes; nil discards them.
+	Logger *slog.Logger
 }
 
 // Manager owns the job table, the bounded queue and the runner pool.
@@ -104,6 +117,7 @@ type Manager struct {
 	wg     sync.WaitGroup
 
 	met *managerMetrics
+	log *slog.Logger
 
 	mu      sync.Mutex
 	cond    *sync.Cond // signalled on pending growth and on close
@@ -149,6 +163,10 @@ func New(opts Options) *Manager {
 	}
 	m.cond = sync.NewCond(&m.mu)
 	m.met = newManagerMetrics(m, opts.Metrics)
+	m.log = opts.Logger
+	if m.log == nil {
+		m.log = slog.New(slog.DiscardHandler)
+	}
 	replayed := 0
 	for _, sub := range opts.Journal.Pending() {
 		if m.restore(sub) {
@@ -156,6 +174,9 @@ func New(opts Options) *Manager {
 		}
 	}
 	m.met.replayed.Set(float64(replayed))
+	if replayed > 0 {
+		m.log.Info("journal replay re-queued interrupted jobs", "jobs", replayed)
+	}
 	for i := 0; i < opts.Runners; i++ {
 		m.wg.Add(1)
 		go m.runLoop(i)
@@ -242,10 +263,18 @@ func (m *Manager) execute(runner int, j *Job) {
 		m.failJob(j, err)
 		return
 	}
+	var created, started time.Time
 	j.update(func(j *Job) {
 		j.state = Running
 		j.started = time.Now()
+		created, started = j.created, j.started
 	})
+	m.met.jobDuration.With("queue").Observe(started.Sub(created).Seconds())
+	if m.tracing() {
+		m.addTrace(j, spanRec("queue", j.Key(), "", created, started))
+	}
+	m.log.Debug("job started", "job", j.id, "kind", j.kind, "runner", runner,
+		"queue_wait", started.Sub(created))
 	m.journalState(j, Running)
 	label := strconv.Itoa(runner)
 	m.met.runnerBusy.With(label).Set(1)
@@ -273,6 +302,10 @@ func (m *Manager) execute(runner int, j *Job) {
 		m.met.runnerMIPS.With(label).Set(float64(sim.SimulatedInstructions()-instrBefore) / secs / 1e6)
 	}
 	m.noteLatency(dur)
+	m.met.jobDuration.With("run").Observe(dur.Seconds())
+	if m.tracing() {
+		m.addTrace(j, spanRec("execute", j.Key(), "", start, start.Add(dur)))
+	}
 	if err == nil {
 		err = j.ctx.Err() // a cancelled job that limped to a result still failed
 	}
@@ -280,11 +313,19 @@ func (m *Manager) execute(runner int, j *Job) {
 		m.failJob(j, err)
 		return
 	}
+	var finished time.Time
+	var hit bool
 	j.update(func(j *Job) {
 		j.state = Done
 		j.result = body
 		j.finished = time.Now()
+		finished, hit = j.finished, j.hit
 	})
+	if m.tracing() {
+		m.addTrace(j, instantRec("done", finished))
+	}
+	m.log.Info("job done", "job", j.id, "kind", j.kind, "dur", dur,
+		"cache_hit", hit, "spec_key", j.Key())
 	m.journalState(j, Done)
 	m.met.completed.With(string(Done)).Inc()
 }
@@ -292,6 +333,12 @@ func (m *Manager) execute(runner int, j *Job) {
 // failJob marks a job Failed, journals the transition and counts it.
 func (m *Manager) failJob(j *Job, err error) {
 	j.fail(err)
+	if m.tracing() {
+		rec := instantRec("failed", time.Now())
+		rec.Note = err.Error()
+		m.addTrace(j, rec)
+	}
+	m.log.Warn("job failed", "job", j.id, "kind", j.kind, "client", j.client, "error", err)
 	m.journalState(j, Failed)
 	m.met.completed.With(string(Failed)).Inc()
 }
@@ -311,7 +358,9 @@ func (m *Manager) journalState(j *Job, s State) {
 	if jnl == nil {
 		return
 	}
-	if jnl.State(j.id, string(s)) != nil {
+	if err := jnl.State(j.id, string(s)); err != nil {
+		m.log.Error("journal state append failed; persistence degraded",
+			"job", j.id, "state", string(s), "error", err)
 		m.met.journalErrors.Inc()
 	}
 }
@@ -396,6 +445,9 @@ func (m *Manager) enqueue(client string, sub *journal.Submit, kind string, total
 		watch:   make(chan struct{}),
 		run:     run,
 	}
+	if m.tracing() {
+		j.trc = trace.NewRing(maxJobTraceRecords)
+	}
 	if sub != nil {
 		sub.ID = j.id
 		sub.Client = client
@@ -406,13 +458,18 @@ func (m *Manager) enqueue(client string, sub *journal.Submit, kind string, total
 	m.cond.Signal()
 	jnl := m.jnl
 	m.mu.Unlock()
+	if m.tracing() {
+		m.addTrace(j, instantRec("submit", j.created))
+	}
+	m.log.Info("job submitted", "job", j.id, "kind", kind, "client", client)
 	m.met.submitted.With(kindLabel(kind)).Inc()
 	// The fsync happens outside the queue lock: a slow disk delays this
 	// submitter's acknowledgement, never the runner pool. A failed
 	// append degrades persistence (counted, job still runs) rather than
 	// failing the submission.
 	if sub != nil && jnl != nil {
-		if jnl.Submit(*sub) != nil {
+		if err := jnl.Submit(*sub); err != nil {
+			m.log.Error("journal append failed; persistence degraded", "job", j.id, "error", err)
 			m.met.journalErrors.Inc()
 		}
 	}
@@ -501,6 +558,9 @@ func (m *Manager) restore(sub journal.Submit) bool {
 		watch:   make(chan struct{}),
 		run:     run,
 	}
+	if m.tracing() {
+		j.trc = trace.NewRing(maxJobTraceRecords)
+	}
 	if ferr != nil {
 		j.kind = sub.Kind
 	}
@@ -549,7 +609,7 @@ func (m *Manager) runRun(r wire.RunRequest) func(ctx context.Context, j *Job) ([
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		body, hit, err := r.RunStream(ctx, m.opts.Cache, nil)
+		body, hit, err := r.RunStreamHooked(ctx, m.opts.Cache, m.runHooks(j, r, nil))
 		if err != nil {
 			return nil, err
 		}
@@ -591,7 +651,7 @@ func (m *Manager) runStream(r wire.RunRequest) func(ctx context.Context, j *Job)
 		j.update(func(j *Job) {
 			j.task = r.Normalize().Benchmark + "/" + r.ControllerName()
 		})
-		body, hit, err := r.RunStream(ctx, m.opts.Cache, j.pushInterval)
+		body, hit, err := r.RunStreamHooked(ctx, m.opts.Cache, m.runHooks(j, r, j.pushInterval))
 		if err != nil {
 			return nil, err
 		}
@@ -722,6 +782,10 @@ func (m *Manager) noteTerminal(id string) {
 	if idx := len(m.terminal) - 1 - maxTerminalIntervalLogs; idx >= 0 {
 		if j, ok := m.jobs[m.terminal[idx]]; ok {
 			j.dropIntervals()
+			// The trace buffer ages out on the same window: past the
+			// recent terminal jobs it is dead weight the same way the
+			// interval log is (see maxTerminalIntervalLogs).
+			j.dropTrace()
 		}
 	}
 	m.pruneLocked()
@@ -733,7 +797,8 @@ func (m *Manager) noteTerminal(id string) {
 	}
 	m.mu.Unlock()
 	if compact {
-		if jnl.Compact(live) != nil {
+		if err := jnl.Compact(live); err != nil {
+			m.log.Error("journal compaction failed; persistence degraded", "error", err)
 			m.met.journalErrors.Inc()
 		}
 	}
@@ -869,6 +934,12 @@ type Job struct {
 	// maxJobIntervals skips the overwritten records).
 	ivBase int
 	ivs    []stats.Interval
+
+	// key is the content-addressed spec key of a run-family job, once
+	// computed; trc is the job's bounded flight-recorder trace (nil
+	// with tracing disabled or after aging out).
+	key string
+	trc *trace.Ring
 }
 
 // maxJobIntervals bounds one job's retained interval log, so a streamed

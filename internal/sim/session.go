@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mcd/internal/clock"
 	"mcd/internal/pipeline"
 	"mcd/internal/stats"
 )
@@ -111,6 +112,20 @@ func (s *Session) onInterval(iv stats.Interval) {
 // stepping; they run on the stepping goroutine.
 func (s *Session) Observe(fn func(stats.Interval)) {
 	s.observers = append(s.observers, fn)
+}
+
+// ObserveDecision registers fn to be called at every measured interval
+// boundary with the interval record and the frequency targets the
+// controller chose at that boundary. The distinction matters: the
+// interval record's own FreqMHz holds the frequencies the interval ran
+// at (pre-decision), while the core applies the controller's new
+// targets before observers fire — so the session's current regulator
+// targets are the decision. This is the serving layer's controller
+// decision audit hook; like Observe, attach before stepping.
+func (s *Session) ObserveDecision(fn func(iv stats.Interval, chosen [clock.NumControllable]float64)) {
+	s.Observe(func(iv stats.Interval) {
+		fn(iv, s.core.Progress().FreqMHz)
+	})
 }
 
 // StopWhen installs an early-termination predicate, evaluated with the

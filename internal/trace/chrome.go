@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Chrome trace-event process IDs: wall-clock job lifecycle spans live
+// in one process, simulated-time controller decisions in another, so
+// Perfetto renders them as two labelled tracks instead of smearing
+// picosecond-scale decisions across wall-clock spans.
+const (
+	pidLifecycle = 1
+	pidDecisions = 2
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON array (the
+// format Perfetto and chrome://tracing open natively): "X" complete
+// spans, "i" instants, "C" counters, "M" metadata.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// domainNames label the per-domain decision payload in export args, in
+// clock-domain order.
+var domainNames = [NumDomains]string{"frontend", "integer", "fp", "loadstore"}
+
+// tidOf maps a job ID to a stable thread ID so each job renders as its
+// own row: IDs are "j<seq>", so the sequence number is the natural tid.
+func tidOf(job string) int {
+	if n, err := strconv.Atoi(strings.TrimPrefix(job, "j")); err == nil && n > 0 {
+		return n
+	}
+	return 1
+}
+
+// WriteChrome renders records as a Chrome trace-event JSON object —
+// {"traceEvents":[...]} — viewable by dragging the body into Perfetto
+// (ui.perfetto.dev) or chrome://tracing. Lifecycle spans and instants
+// land in a wall-clock process; decision records land in a separate
+// simulated-time process as instants plus per-domain frequency and
+// occupancy counter tracks (the Figures 2–3 view). dropped > 0 reports
+// records the bounded recorder overwrote before export; it surfaces as
+// an explicit instant so a truncated trace is never mistaken for a
+// complete one.
+func WriteChrome(w io.Writer, recs []Record, dropped uint64) error {
+	events := make([]chromeEvent, 0, 2*len(recs)+8)
+	events = append(events,
+		chromeEvent{Name: "process_name", Ph: "M", PID: pidLifecycle,
+			Args: map[string]any{"name": "job lifecycle (wall clock)"}},
+		chromeEvent{Name: "process_name", Ph: "M", PID: pidDecisions,
+			Args: map[string]any{"name": "controller decisions (simulated time)"}},
+	)
+	named := map[int]bool{}
+	for _, r := range recs {
+		tid := tidOf(r.Job)
+		if r.Job != "" && !named[tid] {
+			named[tid] = true
+			for _, pid := range []int{pidLifecycle, pidDecisions} {
+				events = append(events, chromeEvent{Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+					Args: map[string]any{"name": r.Job}})
+			}
+		}
+		switch r.Kind {
+		case KindSpan, KindInstant:
+			ev := chromeEvent{
+				Name: r.Name, Cat: "lifecycle", PID: pidLifecycle, TID: tid,
+				TS: float64(r.StartUS), Args: map[string]any{"job": r.Job},
+			}
+			if r.Kind == KindSpan {
+				ev.Ph, ev.Dur = "X", float64(r.DurUS)
+				if ev.Dur <= 0 {
+					// Perfetto drops zero-duration complete events; a
+					// sub-microsecond phase still deserves a visible sliver.
+					ev.Dur = 1
+				}
+			} else {
+				ev.Ph, ev.S = "i", "t"
+			}
+			if r.Client != "" {
+				ev.Args["client"] = r.Client
+			}
+			if r.Key != "" {
+				ev.Args["spec_key"] = r.Key
+			}
+			if r.Tier != "" {
+				ev.Args["cache_tier"] = r.Tier
+			}
+			events = append(events, ev)
+		case KindDecision:
+			ts := r.SimPS / 1e6 // simulated ps → exported µs
+			args := map[string]any{
+				"job": r.Job, "interval": r.Interval, "ipc": r.IPC,
+			}
+			if r.Note != "" {
+				args["note"] = r.Note
+			}
+			freq := map[string]any{}
+			occ := map[string]any{}
+			for d, name := range domainNames {
+				args[name+"_mhz"] = r.FreqMHz[d]
+				args[name+"_queue"] = r.QueueAvg[d]
+				freq[name] = r.FreqMHz[d]
+				occ[name] = r.QueueAvg[d]
+			}
+			events = append(events,
+				chromeEvent{Name: r.Name, Ph: "i", Cat: "decision", S: "t",
+					PID: pidDecisions, TID: tid, TS: ts, Args: args},
+				chromeEvent{Name: "freq_mhz " + r.Job, Ph: "C",
+					PID: pidDecisions, TID: tid, TS: ts, Args: freq},
+				chromeEvent{Name: "queue_avg " + r.Job, Ph: "C",
+					PID: pidDecisions, TID: tid, TS: ts, Args: occ},
+			)
+		}
+	}
+	if dropped > 0 {
+		events = append(events, chromeEvent{
+			Name: "trace-truncated", Ph: "i", S: "g", PID: pidLifecycle, TID: 1,
+			Args: map[string]any{"dropped_records": dropped},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"displayTimeUnit": "ms",
+		"traceEvents":     events,
+	})
+}

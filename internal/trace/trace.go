@@ -1,0 +1,135 @@
+// Package trace is the serving layer's flight recorder: a bounded,
+// allocation-frugal log of typed span and event records covering the
+// job lifecycle (submit → queue wait → cache probe → run → store write)
+// and the per-interval controller decision audit the paper's Figures
+// 2–3 are built from. Records land in two places — a per-job buffer
+// served as Chrome trace-event JSON by GET /v1/jobs/{id}/trace, and a
+// rolling process-wide ring dumped by GET /debug/trace — both rendered
+// by WriteChrome so they open directly in Perfetto or chrome://tracing.
+//
+// The overhead contract: tracing is off unless a *Ring is configured,
+// and a nil *Ring is valid everywhere (Add and Snapshot are no-ops), so
+// instrumented call sites need no conditionals and the disabled path
+// records nothing and allocates nothing. When enabled, records are
+// produced only at job lifecycle transitions and measured interval
+// boundaries — never inside the cycle loop — so the hot-loop
+// zero-allocation guard and the perf gate hold unchanged.
+package trace
+
+import "sync"
+
+// Kind discriminates the record types.
+type Kind uint8
+
+// Record kinds. Spans cover a wall-clock region of a job's lifecycle;
+// instants mark a point event; decisions carry one control interval's
+// controller audit (inputs, chosen frequencies) positioned in simulated
+// time rather than wall time.
+const (
+	KindSpan Kind = iota
+	KindInstant
+	KindDecision
+)
+
+// NumDomains is the per-domain payload width of decision records — the
+// four controllable clock domains, mirrored here so the package stays a
+// leaf dependency of everything that produces records.
+const NumDomains = 4
+
+// Record is one flight-recorder entry: a fixed-shape value type so a
+// bounded buffer of records is one backing array, not a pointer chase.
+// Only the fields relevant to the Kind are populated.
+type Record struct {
+	Kind Kind
+	// Name labels the record: a lifecycle phase for spans ("queue",
+	// "probe", "run", "store"), an event name for instants ("submit",
+	// "done", "failed"), "decision" for decisions.
+	Name string
+	// StartUS/DurUS position spans and instants in wall-clock time
+	// (microseconds since the Unix epoch; DurUS is zero for instants).
+	StartUS int64
+	DurUS   int64
+
+	// Job/Client/Key/Tier attribute the record: job ID, submitting
+	// client, content-addressed spec key, and — on cache spans — the
+	// tier that answered (mem, disk, dedup, or miss).
+	Job    string
+	Client string
+	Key    string
+	Tier   string
+
+	// Decision payload: the measured interval's index and end position
+	// in simulated picoseconds, the controller's occupancy/IPC inputs,
+	// the per-domain frequency it chose for the next interval, and an
+	// optional controller-specific note (coord reports its budget).
+	Interval int
+	SimPS    float64
+	IPC      float64
+	QueueAvg [NumDomains]float64
+	FreqMHz  [NumDomains]float64
+	Note     string
+}
+
+// Ring is a bounded, concurrency-safe record buffer: appends past the
+// bound overwrite the oldest records, counted. It backs both the
+// process-wide flight recorder and the per-job traces. A nil *Ring is
+// valid and records nothing, so "tracing disabled" needs no branches at
+// the producing call sites.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Record // ring storage, len == cap once full
+	depth int
+	next  uint64 // total records ever added; next%depth is the write slot
+}
+
+// NewRing builds a recorder bounded at depth records (minimum 1).
+func NewRing(depth int) *Ring {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Ring{depth: depth}
+}
+
+// Add appends one record, overwriting the oldest past the bound.
+func (r *Ring) Add(rec Record) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.buf) < r.depth {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[r.next%uint64(r.depth)] = rec
+	}
+	r.next++
+	r.mu.Unlock()
+}
+
+// Snapshot copies the retained records oldest-first and reports how
+// many older records the bound has already overwritten.
+func (r *Ring) Snapshot() (recs []Record, dropped uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	recs = make([]Record, 0, len(r.buf))
+	if len(r.buf) < r.depth {
+		recs = append(recs, r.buf...)
+	} else {
+		at := r.next % uint64(r.depth) // oldest slot
+		recs = append(recs, r.buf[at:]...)
+		recs = append(recs, r.buf[:at]...)
+	}
+	return recs, r.next - uint64(len(recs))
+}
+
+// Total returns how many records have ever been added.
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}

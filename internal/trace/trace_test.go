@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRingBoundsAndCountsDrops(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Add(Record{Kind: KindInstant, Interval: i})
+	}
+	recs, dropped := r.Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("retained %d records, want 4", len(recs))
+	}
+	if dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", dropped)
+	}
+	for i, rec := range recs {
+		if want := 6 + i; rec.Interval != want {
+			t.Fatalf("recs[%d].Interval = %d, want %d (oldest-first order)", i, rec.Interval, want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+}
+
+func TestNilRingIsInert(t *testing.T) {
+	var r *Ring
+	r.Add(Record{}) // must not panic
+	recs, dropped := r.Snapshot()
+	if recs != nil || dropped != 0 || r.Total() != 0 {
+		t.Fatalf("nil ring leaked state: recs=%v dropped=%d total=%d", recs, dropped, r.Total())
+	}
+}
+
+// chromeDoc mirrors the exported JSON shape for validation.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestWriteChrome(t *testing.T) {
+	recs := []Record{
+		{Kind: KindInstant, Name: "submit", Job: "j000003", Client: "c1", StartUS: 100},
+		{Kind: KindSpan, Name: "queue", Job: "j000003", StartUS: 100, DurUS: 50},
+		{Kind: KindSpan, Name: "probe", Job: "j000003", Key: "k", Tier: "miss", StartUS: 150, DurUS: 2},
+		{Kind: KindDecision, Name: "decision", Job: "j000003", Interval: 7, SimPS: 2e6,
+			IPC: 1.5, FreqMHz: [NumDomains]float64{1000, 750, 500, 250},
+			QueueAvg: [NumDomains]float64{0, 1, 2, 3}, Note: "budget_mhz=100"},
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, recs, 5); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	byName := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		byName[ev.Name]++
+		switch ev.Name {
+		case "queue":
+			if ev.Ph != "X" || ev.TS != 100 || ev.Dur != 50 || ev.TID != 3 {
+				t.Fatalf("queue span mis-rendered: %+v", ev)
+			}
+		case "probe":
+			if ev.Args["cache_tier"] != "miss" || ev.Args["spec_key"] != "k" {
+				t.Fatalf("probe span lost its attributes: %+v", ev)
+			}
+		case "decision":
+			if ev.Ph != "i" || ev.TS != 2.0 { // 2e6 ps = 2 µs
+				t.Fatalf("decision mis-positioned: %+v", ev)
+			}
+			if ev.Args["integer_mhz"] != 750.0 || ev.Args["loadstore_queue"] != 3.0 {
+				t.Fatalf("decision lost per-domain payload: %+v", ev)
+			}
+			if ev.Args["note"] != "budget_mhz=100" {
+				t.Fatalf("decision lost controller note: %+v", ev)
+			}
+		}
+	}
+	for _, want := range []string{"submit", "queue", "probe", "decision",
+		"freq_mhz j000003", "queue_avg j000003", "process_name", "trace-truncated"} {
+		if byName[want] == 0 {
+			t.Fatalf("export missing %q event; have %v", want, byName)
+		}
+	}
+	if byName["process_name"] != 2 {
+		t.Fatalf("want 2 process_name metadata events, got %d", byName["process_name"])
+	}
+}
+
+func TestWriteChromeZeroDurSpanVisible(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteChrome(&buf, []Record{{Kind: KindSpan, Name: "store", Job: "j1", StartUS: 9}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "store" && ev.Dur < 1 {
+			t.Fatalf("zero-duration span exported with dur %v; Perfetto would drop it", ev.Dur)
+		}
+	}
+}

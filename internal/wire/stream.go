@@ -5,6 +5,8 @@ import (
 	"context"
 	"encoding/json"
 
+	"mcd/internal/clock"
+	"mcd/internal/pipeline"
 	"mcd/internal/resultcache"
 	"mcd/internal/sim"
 	"mcd/internal/stats"
@@ -69,6 +71,26 @@ func GapFrame(n int) StreamFrame {
 	return StreamFrame{Type: FrameGap, Dropped: n}
 }
 
+// RunHooks bundles the optional observation points of RunStreamHooked.
+// Every hook may be nil; the zero value is an unobserved run. Hooks run
+// on the simulating goroutine and must be cheap relative to a control
+// interval — the tracing layer records a fixed-size value per call.
+type RunHooks struct {
+	// Emit receives every measured control interval as it is produced
+	// (RunStream's observer).
+	Emit func(stats.Interval)
+	// Cache observes the result-store phases of the request: probe
+	// outcome and tier, compute bracket, disk persist bracket.
+	Cache *resultcache.Obs
+	// Decide is the controller decision audit: at every measured
+	// interval boundary it receives the interval record (inputs: the
+	// occupancies/IPC the controller saw, and the frequencies the
+	// interval ran at), the per-domain frequencies the controller chose
+	// for the next interval, and the controller's own note when it
+	// implements pipeline.DecisionNoter (coord's budget redistribution).
+	Decide func(iv stats.Interval, chosen [clock.NumControllable]float64, note string)
+}
+
 // RunStream executes the request through a stepped simulation session,
 // calling emit with every measured control interval as it is produced,
 // and returns the canonical result body — byte-identical to
@@ -79,6 +101,13 @@ func GapFrame(n int) StreamFrame {
 // closes the session at the next interval boundary and returns
 // ctx.Err(); the partial result is discarded, never stored.
 func (r RunRequest) RunStream(ctx context.Context, c *resultcache.Cache, emit func(stats.Interval)) (body []byte, hit bool, err error) {
+	return r.RunStreamHooked(ctx, c, RunHooks{Emit: emit})
+}
+
+// RunStreamHooked is RunStream with the full observation surface (see
+// RunHooks); RunStream is exactly RunStreamHooked with only Emit set,
+// so the two share one execution contract and one byte-identity story.
+func (r RunRequest) RunStreamHooked(ctx context.Context, c *resultcache.Cache, h RunHooks) (body []byte, hit bool, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -95,8 +124,18 @@ func (r RunRequest) RunStream(ctx context.Context, c *resultcache.Cache, emit fu
 		if err != nil {
 			return nil, err
 		}
-		if emit != nil {
-			ses.Observe(emit)
+		if h.Emit != nil {
+			ses.Observe(h.Emit)
+		}
+		if h.Decide != nil {
+			noter, _ := spec.Controller.(pipeline.DecisionNoter)
+			ses.ObserveDecision(func(iv stats.Interval, chosen [clock.NumControllable]float64) {
+				note := ""
+				if noter != nil {
+					note = noter.DecisionNote()
+				}
+				h.Decide(iv, chosen, note)
+			})
 		}
 		for ses.Step(1) {
 			if err := ctx.Err(); err != nil {
@@ -107,12 +146,12 @@ func (r RunRequest) RunStream(ctx context.Context, c *resultcache.Cache, emit fu
 		return resultcache.EncodeResult(ses.Close())
 	}
 	if c == nil {
-		body, err = compute()
+		body, err = resultcache.ObservedCompute(compute, h.Cache)
 		return body, false, err
 	}
 	key, err := res.Key(run)
 	if err != nil {
 		return nil, false, err
 	}
-	return c.DoBytes(key, compute)
+	return c.DoBytesObserved(key, compute, h.Cache)
 }
