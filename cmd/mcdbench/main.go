@@ -11,16 +11,30 @@
 //	mcdbench -exp table6 -cpuprofile cpu.out     # pprof capture of the run
 //	mcdbench -benchjson                          # hot-path perf report (BENCH_5.json schema)
 //	mcdbench -benchjson -benchbaseline BENCH_5.json   # CI perf-regression gate
+//	mcdbench -exp table6 -quick -server http://localhost:8080   # run on a server (or fabric coordinator)
+//
+// With -server the experiment is submitted to a running mcdserve
+// instance instead of computed in-process: the job is polled to
+// completion and its result body printed — byte-identical to the local
+// run by the determinism contract, whether the server computes locally
+// or shards the grid across a worker fleet.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"runtime"
+	"strings"
+	"time"
 
 	"mcd/internal/bench"
 	"mcd/internal/prof"
+	"mcd/internal/service"
 	"mcd/internal/wire"
 )
 
@@ -39,8 +53,20 @@ func main() {
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on clean exit")
 		benchJSON = flag.Bool("benchjson", false, "run the hot-path perf benchmarks and print the JSON report (BENCH_5.json schema)")
 		baseline  = flag.String("benchbaseline", "", "with -benchjson: compare against this committed report and exit 1 on regression")
+		server    = flag.String("server", "", "submit the experiment to this mcdserve base URL instead of computing in-process")
 	)
 	flag.Parse()
+
+	if *server != "" {
+		req := wire.ExperimentRequest{
+			Name: *exp, Quick: *quick,
+			Window: *window, Warmup: *warmup,
+		}
+		if *benchF != "" {
+			req.Benchmarks = bench.SplitNames(*benchF)
+		}
+		os.Exit(runOnServer(strings.TrimRight(*server, "/"), req, *jsonOut, *quiet))
+	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -112,6 +138,81 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mcdbench: unknown experiment %q\n", *exp)
 		os.Exit(1)
 	}
+}
+
+// runOnServer submits one experiment to a running mcdserve, polls the
+// job to a terminal state, and prints the result body: the raw
+// canonical encoding with jsonOut, the human-readable report text
+// otherwise. Exit codes mirror the in-process path.
+func runOnServer(base string, req wire.ExperimentRequest, jsonOut, quiet bool) int {
+	client := &http.Client{Timeout: 30 * time.Second}
+	body, err := json.Marshal(req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcdbench: %v\n", err)
+		return 1
+	}
+	resp, err := client.Post(base+"/v1/experiments", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcdbench: %v\n", err)
+		return 1
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		fmt.Fprintf(os.Stderr, "mcdbench: submit: status %d: %s\n", resp.StatusCode, strings.TrimSpace(string(raw)))
+		return 1
+	}
+	var snap service.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil || snap.ID == "" {
+		fmt.Fprintf(os.Stderr, "mcdbench: submit: unexpected response %q\n", strings.TrimSpace(string(raw)))
+		return 1
+	}
+	for !snap.Terminal() {
+		time.Sleep(250 * time.Millisecond)
+		r, err := client.Get(base + "/v1/jobs/" + snap.ID)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcdbench: poll: %v\n", err)
+			return 1
+		}
+		err = json.NewDecoder(r.Body).Decode(&snap)
+		r.Body.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcdbench: poll: %v\n", err)
+			return 1
+		}
+		if !quiet && snap.Total > 0 {
+			fmt.Fprintf(os.Stderr, "\r%s %d/%d %s        ", snap.ID, snap.Done, snap.Total, snap.Task)
+		}
+	}
+	if !quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if snap.State == service.Failed {
+		fmt.Fprintf(os.Stderr, "mcdbench: job %s failed: %s\n", snap.ID, snap.Error)
+		return 1
+	}
+	r, err := client.Get(base + "/v1/jobs/" + snap.ID + "/result")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcdbench: result: %v\n", err)
+		return 1
+	}
+	defer r.Body.Close()
+	out, err := io.ReadAll(r.Body)
+	if err != nil || r.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "mcdbench: result: status %d: %v\n", r.StatusCode, err)
+		return 1
+	}
+	if jsonOut {
+		os.Stdout.Write(out)
+		return 0
+	}
+	var res wire.ExperimentResult
+	if err := json.Unmarshal(out, &res); err != nil {
+		fmt.Fprintf(os.Stderr, "mcdbench: result: %v\n", err)
+		return 1
+	}
+	fmt.Print(res.Output)
+	return 0
 }
 
 // runBenchJSON measures the hot-path benchmarks, prints the report, and

@@ -45,6 +45,22 @@
 //     profiling harness the endpoints complement).
 //   - mcdtop (cmd/mcdtop) is the matching fleet console: it polls
 //     /metrics and tails /events into a terminal dashboard.
+//
+// Distributed fabric (one binary, two roles):
+//
+//	mcdserve -addr :8080 -cache /var/cache/mcd -coordinator
+//	mcdserve -addr :8081 -cache /var/cache/w1 -worker -join http://127.0.0.1:8080
+//	mcdserve -addr :8082 -cache /var/cache/w2 -worker -join http://127.0.0.1:8080
+//
+// A -coordinator keeps the whole API surface but dispatches every
+// cache-missing, content-addressed spec to its registered workers
+// (work-stealing queues, hedged retries, dead-worker requeue); the
+// shared result store means a spec computed anywhere is a hit
+// everywhere, and determinism makes the distributed bytes identical to
+// a single-process run. A -worker serves POST /v1/fabric/execute and
+// heartbeats to -join; -advertise overrides the URL it registers
+// (default: 127.0.0.1 at the -addr port). When the fleet is saturated
+// the coordinator sheds new submissions with 429 reason "fleet".
 package main
 
 import (
@@ -63,7 +79,9 @@ import (
 	"syscall"
 	"time"
 
+	"mcd/internal/fabric"
 	"mcd/internal/journal"
+	"mcd/internal/metrics"
 	"mcd/internal/resultcache"
 	"mcd/internal/service"
 	"mcd/internal/trace"
@@ -86,6 +104,11 @@ type options struct {
 	traceOn   bool
 	logFormat string
 	pprofAddr string
+
+	coordinator bool
+	worker      bool
+	join        string
+	advertise   string
 }
 
 func main() {
@@ -101,11 +124,29 @@ func main() {
 	flag.BoolVar(&o.traceOn, "trace", false, "arm the flight recorder: lifecycle spans and controller decision audit at /v1/jobs/{id}/trace and /debug/trace")
 	flag.StringVar(&o.logFormat, "log-format", "text", "structured log encoding on stderr: text or json")
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this extra address (empty: off)")
+	flag.BoolVar(&o.coordinator, "coordinator", false, "coordinate a worker fleet: dispatch content-addressed specs to joined -worker processes")
+	flag.BoolVar(&o.worker, "worker", false, "serve fabric dispatches and heartbeat to the -join coordinator")
+	flag.StringVar(&o.join, "join", "", "coordinator base URL a -worker registers with (e.g. http://127.0.0.1:8080)")
+	flag.StringVar(&o.advertise, "advertise", "", "base URL the coordinator should dispatch to (default: http://127.0.0.1 at the -addr port)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "mcdserve: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// defaultAdvertise derives the URL a worker registers from its listen
+// address: loopback when the address binds all interfaces (the
+// one-host deployment recipe), the bound host otherwise.
+func defaultAdvertise(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "http://127.0.0.1:8080"
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }
 
 // newLogger builds the process logger for -log-format.
@@ -164,19 +205,64 @@ func run(o options) error {
 	if o.traceOn {
 		ring = trace.NewRing(traceRingDepth)
 	}
-	// No deferred Close: the shutdown path below closes the manager
-	// with a bounded wait, and every other exit ends the process, which
-	// reaps the workers anyway.
-	mgr := service.New(service.Options{
+	if o.coordinator && o.worker {
+		return errors.New("-coordinator and -worker are mutually exclusive (one process, one role)")
+	}
+	if o.worker && o.join == "" {
+		return errors.New("-worker requires -join (the coordinator's base URL)")
+	}
+	advertise := o.advertise
+	if advertise == "" {
+		advertise = defaultAdvertise(o.addr)
+	}
+
+	// One registry serves /metrics for both the job manager and the
+	// fabric role, so mcd_fabric_* and mcd_jobs_* scrape together.
+	reg := metrics.New()
+	var coord *fabric.Coordinator
+	svcOpts := service.Options{
 		Runners:     o.runners,
 		QueueDepth:  o.queue,
 		Workers:     o.workers,
 		Cache:       cache,
 		Journal:     jnl,
 		ClientQuota: o.quota,
+		Metrics:     reg,
 		Trace:       ring,
 		Logger:      logger,
-	})
+	}
+	if o.coordinator {
+		coord = fabric.NewCoordinator(fabric.Options{
+			Cache:   cache,
+			Metrics: reg,
+			Trace:   ring,
+			Logger:  logger,
+		})
+		svcOpts.Dispatch = coord.Execute
+		svcOpts.Gate = func() error {
+			if coord.Saturated() {
+				return service.ErrFleet
+			}
+			return nil
+		}
+	}
+	// No deferred Close: the shutdown path below closes the manager
+	// with a bounded wait, and every other exit ends the process, which
+	// reaps the workers anyway.
+	mgr := service.New(svcOpts)
+
+	var wrk *fabric.Worker
+	if o.worker {
+		wrk = fabric.NewWorker(fabric.WorkerOptions{
+			ID:          advertise,
+			Advertise:   advertise,
+			Coordinator: o.join,
+			Slots:       o.workers,
+			Cache:       cache,
+			Metrics:     reg,
+			Logger:      logger,
+		})
+	}
 
 	if o.pprofAddr != "" {
 		bound, err := servePprof(o.pprofAddr, logger)
@@ -186,15 +272,36 @@ func run(o options) error {
 		logger.Info("pprof listening", "addr", bound)
 	}
 
-	srv := &http.Server{Addr: o.addr, Handler: service.NewHandler(mgr)}
+	handler := http.Handler(service.NewHandler(mgr))
+	if coord != nil || wrk != nil {
+		mux := http.NewServeMux()
+		if coord != nil {
+			mux.Handle("POST /v1/fabric/register", coord.Handler())
+		}
+		if wrk != nil {
+			mux.Handle("POST /v1/fabric/execute", wrk.Handler())
+		}
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	srv := &http.Server{Addr: o.addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
+	if wrk != nil {
+		wrk.Start()
+	}
+	role := "standalone"
+	if o.coordinator {
+		role = "coordinator"
+	} else if o.worker {
+		role = "worker"
+	}
 	logger.Info("listening",
-		"addr", o.addr, "cache_dir", o.cacheDir,
+		"addr", o.addr, "cache_dir", o.cacheDir, "role", role,
 		"workers", o.workers, "runners", o.runners, "trace", o.traceOn)
 
 	select {
@@ -217,6 +324,16 @@ func run(o options) error {
 	case <-closed:
 	case <-time.After(10 * time.Second):
 		logger.Warn("a running simulation outlived the close deadline; abandoning it")
+	}
+	// The coordinator drains after the manager: with job contexts
+	// already cancelled, in-flight dispatches resolve promptly and
+	// nothing new is admitted. The worker just stops heartbeating; its
+	// in-flight executes finish under the HTTP server's own drain.
+	if coord != nil {
+		coord.Close()
+	}
+	if wrk != nil {
+		wrk.Close()
 	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

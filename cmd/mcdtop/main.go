@@ -8,7 +8,11 @@
 //   - cache traffic by tier (mem / disk / dedup hits vs misses) and the
 //     stream gap-record counter
 //   - per-runner busy state and attributed simulation throughput
-//   - the in-flight job table with age, progress, and phase
+//   - on a fabric coordinator: the worker fleet (per-worker busy,
+//     queue depth, simulated MIPS, heartbeat age) plus dispatch,
+//     hedge, steal and requeue counters
+//   - the in-flight job table with age, progress, phase, and whether
+//     the job ran locally or was dispatched to the fabric
 //   - a live interval line (index, simulated time, IPC, per-domain MHz)
 //     when the tailed job is a streamed run
 //
@@ -292,10 +296,12 @@ func (f *frame) render(w io.Writer, ansi bool, live string, poll time.Duration) 
 	if total > 0 {
 		rate = 100 * (total - misses) / total
 	}
-	fmt.Fprintf(w, "cache   mem %.0f  disk %.0f  dedup %.0f  miss %.0f  (%.1f%% hit)   entries %.0f  %s   gap records %.0f\n",
-		hits["mem"], hits["disk"], hits["dedup"], misses, rate,
+	fmt.Fprintf(w, "cache   mem %.0f  disk %.0f  dedup %.0f  remote %.0f  miss %.0f  (%.1f%% hit)   entries %.0f  %s   gap records %.0f\n",
+		hits["mem"], hits["disk"], hits["dedup"], hits["remote"], misses, rate,
 		f.met["mcd_cache_entries"], fmtBytes(f.met["mcd_cache_mem_bytes"]),
 		f.met["mcd_stream_gap_frames_total"])
+
+	f.renderFabric(w)
 
 	busy := f.met.series("mcd_runner_busy")
 	mips := f.met.series("mcd_runner_sim_mips")
@@ -320,12 +326,16 @@ func (f *frame) render(w io.Writer, ansi bool, live string, poll time.Duration) 
 	}
 	fmt.Fprint(w, "\n\n")
 
-	fmt.Fprintf(w, "%s%-8s %-11s %-8s %-9s %-8s %s%s\n", bold,
-		"JOB", "KIND", "STATE", "PROG", "AGE", "TASK", reset)
+	fmt.Fprintf(w, "%s%-8s %-11s %-8s %-9s %-8s %-7s %s%s\n", bold,
+		"JOB", "KIND", "STATE", "PROG", "AGE", "EXEC", "TASK", reset)
 	for _, j := range f.sortedJobs() {
 		prog := fmt.Sprintf("%d", j.Done)
 		if j.Total > 0 {
 			prog = fmt.Sprintf("%d/%d", j.Done, j.Total)
+		}
+		where := "local"
+		if j.Dispatched {
+			where = "fabric"
 		}
 		task := j.Task
 		if j.State == service.Failed && j.Error != "" {
@@ -334,14 +344,45 @@ func (f *frame) render(w io.Writer, ansi bool, live string, poll time.Duration) 
 		if len(task) > 40 {
 			task = task[:37] + "..."
 		}
-		fmt.Fprintf(w, "%-8s %-11s %-8s %-9s %-8s %s\n",
-			j.ID, j.Kind, j.State, prog, fmtAge(j, f.at), task)
+		fmt.Fprintf(w, "%-8s %-11s %-8s %-9s %-8s %-7s %s\n",
+			j.ID, j.Kind, j.State, prog, fmtAge(j, f.at), where, task)
 	}
 	if n := len(f.jobs) - f.rows; n > 0 {
 		fmt.Fprintf(w, "%s... %d older job(s) not shown%s\n", dim, n, reset)
 	}
 	if live != "" {
 		fmt.Fprintf(w, "\n%slive%s    %s\n", bold, reset, live)
+	}
+}
+
+// renderFabric draws the distributed-fabric panel: one line of fleet
+// counters and one line per registered worker, from the mcd_fabric_*
+// families a coordinator exports. A node with no fabric (standalone
+// server, plain worker) renders nothing — the panel is invisible
+// rather than empty.
+func (f *frame) renderFabric(w io.Writer) {
+	busy := f.met.series("mcd_fabric_worker_busy")
+	if _, coordinating := f.met["mcd_fabric_workers"]; !coordinating {
+		return
+	}
+	disp := f.met.series("mcd_fabric_dispatches_total")
+	req := f.met.series("mcd_fabric_requeues_total")
+	fmt.Fprintf(w, "fabric  workers %.0f   dispatch ok %.0f err %.0f cancel %.0f   hedges %.0f  steals %.0f  requeue dead %.0f err %.0f  local %.0f\n",
+		f.met["mcd_fabric_workers"],
+		disp["ok"], disp["error"], disp["cancelled"],
+		f.met["mcd_fabric_hedges_total"], f.met["mcd_fabric_steals_total"],
+		req["dead"], req["error"], f.met["mcd_fabric_local_runs_total"])
+	queue := f.met.series("mcd_fabric_worker_queue")
+	mips := f.met.series("mcd_fabric_worker_sim_mips")
+	beat := f.met.series("mcd_fabric_worker_last_heartbeat_seconds")
+	ids := make([]string, 0, len(busy))
+	for id := range busy {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(w, "  %-28s busy %.0f  queue %.0f  %.1f MIPS  beat %.1fs ago\n",
+			id, busy[id], queue[id], mips[id], beat[id])
 	}
 }
 

@@ -61,6 +61,15 @@ type Options struct {
 	// the context error once running tasks drain (the serving layer
 	// recovers it into a failed job).
 	Context context.Context
+	// Exec, if non-nil, executes registry-resolved grid cells out of
+	// process (the distributed fabric's dispatch hook): each cell is
+	// handed over with its content address and re-executable
+	// description, and the returned canonical encoding is decoded in
+	// place of a local simulation — byte-identical by the determinism
+	// contract. Cells whose key cannot be computed run locally; the
+	// hook owns all caching, so Cache is not consulted for dispatched
+	// cells.
+	Exec ExecFunc
 }
 
 // DefaultOptions returns the full-scale configuration used for
@@ -181,14 +190,14 @@ func (o Options) controlRun(b workload.Benchmark) control.Run {
 // request), so a -cache DIR shared between the harness CLIs and
 // mcdserve reuses equivalent cells instead of double-computing them. A
 // resolution error surfaces as the task's error.
-func (o Options) resolvedTask(label, name string, p control.Params, run control.Run) runner.Task[stats.Result] {
+func (o Options) resolvedTask(bench, label, name string, p control.Params, run control.Run) runner.Task[stats.Result] {
 	res, err := control.Resolve(name, p)
 	if err != nil {
 		return runner.Task[stats.Result]{Name: label, Run: func(context.Context) (stats.Result, error) {
 			return stats.Result{}, err
 		}}
 	}
-	return o.controlTask(label, res, run)
+	return o.controlTask(bench, label, name, p, res, run)
 }
 
 // mapTasks fans tasks out on the options' pool, logging progress and
@@ -251,11 +260,11 @@ func (o Options) phase1Tasks(b workload.Benchmark) []runner.Task[stats.Result] {
 	run := o.controlRun(b)
 	iters := control.Params{"iters": float64(o.OfflineIters)}
 	return []runner.Task[stats.Result]{
-		cSync: o.resolvedTask(b.Name+"/sync", "sync", nil, run),
-		cBase: o.resolvedTask(b.Name+"/mcd-base", "mcd", nil, run),
-		cAD:   o.resolvedTask(b.Name+"/attack-decay", "attack-decay", control.FromAttackDecay(o.Params), run),
-		cDyn1: o.resolvedTask(b.Name+"/dynamic-1%", "dynamic-1", iters, run),
-		cDyn5: o.resolvedTask(b.Name+"/dynamic-5%", "dynamic-5", iters, run),
+		cSync: o.resolvedTask(b.Name, b.Name+"/sync", "sync", nil, run),
+		cBase: o.resolvedTask(b.Name, b.Name+"/mcd-base", "mcd", nil, run),
+		cAD:   o.resolvedTask(b.Name, b.Name+"/attack-decay", "attack-decay", control.FromAttackDecay(o.Params), run),
+		cDyn1: o.resolvedTask(b.Name, b.Name+"/dynamic-1%", "dynamic-1", iters, run),
+		cDyn5: o.resolvedTask(b.Name, b.Name+"/dynamic-5%", "dynamic-5", iters, run),
 	}
 }
 
@@ -266,7 +275,7 @@ func (o Options) phase1Tasks(b workload.Benchmark) []runner.Task[stats.Result] {
 func (o Options) globalTasks(c *Comparison) []runner.Task[stats.Result] {
 	run := o.controlRun(c.Bench)
 	mk := func(label string, deg float64) runner.Task[stats.Result] {
-		return o.resolvedTask(c.Bench.Name+"/"+label, "global",
+		return o.resolvedTask(c.Bench.Name, c.Bench.Name+"/"+label, "global",
 			control.Params{"deg": deg, "base_ps": c.Sync.TimePS}, run)
 	}
 	return []runner.Task[stats.Result]{

@@ -28,7 +28,7 @@ type SweepPoint struct {
 func (o Options) baselines(cat []workload.Benchmark) []stats.Result {
 	tasks := make([]runner.Task[stats.Result], len(cat))
 	for i, b := range cat {
-		tasks[i] = o.resolvedTask(b.Name+"/mcd-base", "mcd", nil, o.controlRun(b))
+		tasks[i] = o.resolvedTask(b.Name, b.Name+"/mcd-base", "mcd", nil, o.controlRun(b))
 	}
 	return o.mapTasks(tasks)
 }
@@ -51,7 +51,7 @@ func (o Options) sweep(values []float64, apply func(*core.Params, float64)) []Sw
 		rp := control.FromAttackDecay(p)
 		for _, b := range cat {
 			grid = append(grid, o.resolvedTask(
-				fmt.Sprintf("%s/ad@%g", b.Name, v),
+				b.Name, fmt.Sprintf("%s/ad@%g", b.Name, v),
 				"attack-decay", rp, o.controlRun(b)))
 		}
 	}
@@ -174,7 +174,7 @@ func (o Options) SweepController(name, param string, values []float64, fixed map
 				IntervalLength: o.IntervalLength,
 			}
 			label := fmt.Sprintf("%s/%s@%g", b.Name, name, v)
-			grid = append(grid, o.controlTask(label, res, run))
+			grid = append(grid, o.controlTask(b.Name, label, name, p, res, run))
 		}
 	}
 	runs := o.mapTasks(grid)
@@ -192,14 +192,31 @@ func (o Options) SweepController(name, param string, values []float64, fixed map
 
 // controlTask wraps one registry-resolved run as a cache-aware grid
 // task: addressed by the resolution's content key (which never pays for
-// compound preparation), computed through Resolved.Spec.
-func (o Options) controlTask(label string, res control.Resolved, run control.Run) runner.Task[stats.Result] {
+// compound preparation), computed through Resolved.Spec. It is the one
+// choke point every cacheable grid cell passes through, so the fabric
+// dispatch hook plugged in here covers every table, figure and sweep:
+// with Exec configured, the cell is handed to the hook (content
+// address plus re-executable description) and the returned canonical
+// bytes are decoded in place of a local run.
+func (o Options) controlTask(bench, label, ctrl string, p control.Params, res control.Resolved, run control.Run) runner.Task[stats.Result] {
 	compute := func() (stats.Result, error) {
 		spec, err := res.Spec(run)
 		if err != nil {
 			return stats.Result{}, err
 		}
 		return sim.Run(spec), nil
+	}
+	if o.Exec != nil {
+		if key, err := res.Key(run); err == nil {
+			cell := o.cell(label, bench, ctrl, key, p)
+			return runner.Task[stats.Result]{Name: label, Run: func(ctx context.Context) (stats.Result, error) {
+				b, err := o.Exec(ctx, cell)
+				if err != nil {
+					return stats.Result{}, err
+				}
+				return resultcache.DecodeResult(b)
+			}}
+		}
 	}
 	if o.Cache != nil {
 		if key, err := res.Key(run); err == nil {

@@ -173,3 +173,70 @@ func TestClosedJournalRefusesAppends(t *testing.T) {
 		t.Fatal("append after Close succeeded")
 	}
 }
+
+// TestResultRoundTrip pins the journaled-result contract: a completed
+// job with persisted bytes replays as a CompletedJob with the exact
+// body (trailing newline included — the canonical encoding ends in
+// one), while done jobs without bytes and live jobs do not. The
+// records survive exactly one restart: Open's immediate compaction
+// drops them, so the window is the replay that consumed them.
+func TestResultRoundTrip(t *testing.T) {
+	path := testPath(t)
+	j, _ := Open(path)
+	body := []byte("{\"benchmark\":\"adpcm\"}\n")
+	// j1: done with bytes; j2: done without; j3: live.
+	for _, s := range []Submit{submitN("j000001", KindRun), submitN("j000002", KindRun), submitN("j000003", KindRun)} {
+		if err := j.Submit(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Result("j000001", body); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.State("j000001", "done"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.State("j000002", "done"); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := j2.Completed()
+	if len(done) != 1 || done[0].Submit.ID != "j000001" {
+		t.Fatalf("Completed() = %d jobs (want exactly j000001)", len(done))
+	}
+	if string(done[0].Body) != string(body) {
+		t.Fatalf("replayed body %q, want %q (byte-exact, trailing newline included)", done[0].Body, body)
+	}
+	if live := j2.Pending(); len(live) != 1 || live[0].ID != "j000003" {
+		t.Fatalf("Pending() = %v, want only j000003", live)
+	}
+	j2.Close()
+
+	// One restart window: the compaction that ran during the second
+	// Open dropped the result record.
+	j3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if got := j3.Completed(); len(got) != 0 {
+		t.Fatalf("result records survived a second restart: %d", len(got))
+	}
+}
+
+// TestResultRejectsOversizedBody pins the journal's size guard.
+func TestResultRejectsOversizedBody(t *testing.T) {
+	j, _ := Open(testPath(t))
+	defer j.Close()
+	if err := j.Submit(submitN("j000001", KindRun)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Result("j000001", make([]byte, MaxResultBytes+1)); err == nil {
+		t.Fatal("oversized result accepted")
+	}
+}

@@ -40,8 +40,13 @@ type Stats struct {
 	Misses   uint64 `json:"misses"`
 	// Dedups counts requests that joined an identical in-flight
 	// computation instead of starting their own (single-flight).
-	Dedups    uint64 `json:"dedups"`
-	Evictions uint64 `json:"evictions"`
+	Dedups uint64 `json:"dedups"`
+	// RemoteLoads counts misses whose bytes were supplied by the remote
+	// fabric tier — a worker computed them — rather than a local
+	// simulation. A subset of Misses: the probe missed both local
+	// tiers, but no local compute was paid.
+	RemoteLoads uint64 `json:"remote_loads"`
+	Evictions   uint64 `json:"evictions"`
 	// WriteErrors counts failed disk-tier persists. A persist failure
 	// degrades the disk tier (the computed result is still served and
 	// kept in memory) rather than failing the request.
@@ -52,6 +57,19 @@ type Stats struct {
 
 // Hits returns the total number of requests served without computing.
 func (s Stats) Hits() uint64 { return s.MemHits + s.DiskHits + s.Dedups }
+
+// NoteRemoteLoad records that one miss was satisfied by the remote
+// fabric tier instead of a local compute. The fabric coordinator calls
+// it from inside its DoBytes compute closure, so the remote tier shows
+// up in the same probe accounting as mem/disk/dedup.
+func (c *Cache) NoteRemoteLoad() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.stats.RemoteLoads++
+	c.mu.Unlock()
+}
 
 type entry struct {
 	key   string

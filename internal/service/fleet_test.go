@@ -1,0 +1,135 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mcd/internal/journal"
+	"mcd/internal/wire"
+)
+
+// TestFleetGate429 pins the fleet-wide backpressure surface: when the
+// configured admission gate reports saturation, a submit is rejected
+// before taking a queue slot — 429, reason "fleet", with a Retry-After
+// estimate — and admitted again the moment the gate clears.
+func TestFleetGate429(t *testing.T) {
+	saturated := true
+	m := New(Options{Runners: 1, Gate: func() error {
+		if saturated {
+			return ErrFleet
+		}
+		return nil
+	}})
+	defer m.Close()
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	req := wire.RunRequest{Benchmark: "adpcm", Config: "attack-decay", Window: 8_000, Warmup: wire.U64(4_000)}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/runs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Reason     string `json:"reason"`
+		RetryAfter int    `json:"retry_after_seconds"`
+	}
+	derr := json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit: status %d, want 429", resp.StatusCode)
+	}
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if body.Reason != "fleet" {
+		t.Fatalf("rejection reason %q, want fleet", body.Reason)
+	}
+	if resp.Header.Get("Retry-After") == "" || body.RetryAfter < 1 {
+		t.Fatalf("429 without a sane Retry-After: header %q, body %d",
+			resp.Header.Get("Retry-After"), body.RetryAfter)
+	}
+
+	saturated = false
+	resp2, err := http.Post(srv.URL+"/v1/runs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain submit: status %d, want 200", resp2.StatusCode)
+	}
+
+	var scrape strings.Builder
+	if err := m.Metrics().Render(&scrape); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(scrape.String(), `mcd_jobs_rejected_total{reason="fleet"} 1`) {
+		t.Fatalf("scrape missing fleet rejection counter:\n%s", scrape.String())
+	}
+}
+
+// TestJournalResultReplayAsDone pins the uncacheable-result journal: a
+// manager with no result store behind it persists completed bytes, and
+// a restart over the same journal restores the job as Done with the
+// identical body instead of losing or recomputing it.
+func TestJournalResultReplayAsDone(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "jobs.ndjson")
+	jnl, err := journal.Open(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Options{Runners: 1, Journal: jnl}) // no cache: nothing else can reproduce the bytes
+	req := wire.RunRequest{Benchmark: "adpcm", Config: "attack-decay", Window: 8_000, Warmup: wire.U64(4_000)}
+	j, err := m.SubmitRun(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := j.WaitResult(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := j.ID()
+	m.Kill() // hard stop after completion, as SIGKILL would
+
+	jnl2, err := journal.Open(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := jnl2.Completed()
+	if len(done) != 1 || done[0].Submit.ID != id {
+		t.Fatalf("replay found %d completed jobs (want 1 with ID %s)", len(done), id)
+	}
+	m2 := New(Options{Runners: 1, Journal: jnl2})
+	defer m2.Close()
+	j2, ok := m2.Job(id)
+	if !ok {
+		t.Fatalf("job %s not restored after restart", id)
+	}
+	got, snap, err := j2.WaitResult(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != Done {
+		t.Fatalf("restored job state %s, want done", snap.State)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("restored body diverged (%d vs %d bytes)", len(got), len(want))
+	}
+	var scrape strings.Builder
+	if err := m2.Metrics().Render(&scrape); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(scrape.String(), "mcd_journal_replayed_results 1") {
+		t.Fatalf("scrape missing replayed-results gauge:\n%s", scrape.String())
+	}
+}

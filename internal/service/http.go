@@ -415,6 +415,8 @@ func writeSubmitError(m *Manager, w http.ResponseWriter, err error) {
 		reason = "queue"
 	case errors.Is(err, ErrQuota):
 		reason = "quota"
+	case errors.Is(err, ErrFleet):
+		reason = "fleet"
 	default:
 		writeError(w, http.StatusBadRequest, err)
 		return

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mcd"
@@ -52,8 +53,22 @@ var ErrQueueFull = errors.New("service: job queue full")
 // can back off correctly.
 var ErrQuota = errors.New("service: per-client quota exhausted")
 
+// ErrFleet reports that the distributed run fabric behind this manager
+// is saturated: every worker's queue is full past the backpressure
+// threshold, so admitting more work would only grow latency. The HTTP
+// layer maps it to 429 with reason "fleet".
+var ErrFleet = errors.New("service: worker fleet saturated")
+
 // ErrNotFound reports an unknown job ID.
 var ErrNotFound = errors.New("service: no such job")
+
+// DispatchFunc executes one cache-missing, content-addressed run
+// somewhere else — the fabric coordinator's Execute, in production —
+// and returns the canonical result bytes and whether they were a cache
+// hit. The service calls it for every spec key it would otherwise
+// simulate locally; byte-identity of dispatched results is the
+// fabric's contract.
+type DispatchFunc func(ctx context.Context, key string, req wire.RunRequest) ([]byte, bool, error)
 
 // maxBatchRuns bounds one batch job's size: a larger grid belongs in an
 // experiment (which streams cells through the pool) or several batches.
@@ -103,6 +118,18 @@ type Options struct {
 	// starts, terminal states, journal degradation) with job-ID, client
 	// and spec-key attributes; nil discards them.
 	Logger *slog.Logger
+	// Dispatch, if non-nil, routes every addressable run (a spec whose
+	// content key derives) to the distributed fabric instead of the
+	// local simulator: single runs, batch cells and experiment grid
+	// cells all flow through it. Stream jobs and opaque-controller runs
+	// always execute locally. Nil — the default — keeps the manager a
+	// single-process server.
+	Dispatch DispatchFunc
+	// Gate, if non-nil, is consulted before every submission; a non-nil
+	// error rejects it (mapped to 429). The coordinator wires fleet
+	// saturation here so fleet-wide backpressure reaches clients as
+	// ErrFleet before a job ever occupies a queue slot.
+	Gate func() error
 }
 
 // Manager owns the job table, the bounded queue and the runner pool.
@@ -176,6 +203,16 @@ func New(opts Options) *Manager {
 	m.met.replayed.Set(float64(replayed))
 	if replayed > 0 {
 		m.log.Info("journal replay re-queued interrupted jobs", "jobs", replayed)
+	}
+	results := 0
+	for _, cj := range opts.Journal.Completed() {
+		if m.restoreDone(cj) {
+			results++
+		}
+	}
+	m.met.replayedResults.Set(float64(results))
+	if results > 0 {
+		m.log.Info("journal replay restored completed results", "jobs", results)
 	}
 	for i := 0; i < opts.Runners; i++ {
 		m.wg.Add(1)
@@ -326,6 +363,7 @@ func (m *Manager) execute(runner int, j *Job) {
 	}
 	m.log.Info("job done", "job", j.id, "kind", j.kind, "dur", dur,
 		"cache_hit", hit, "spec_key", j.Key())
+	m.journalResult(j, body)
 	m.journalState(j, Done)
 	m.met.completed.With(string(Done)).Inc()
 }
@@ -405,6 +443,16 @@ func (m *Manager) submit(kind string, total int, run func(ctx context.Context, j
 // against the per-client quota; a non-nil sub is persisted to the
 // journal (its ID is filled in here) so the job survives a crash.
 func (m *Manager) enqueue(client string, sub *journal.Submit, kind string, total int, run func(ctx context.Context, j *Job) ([]byte, error)) (*Job, error) {
+	// The admission gate runs before any state is taken: fleet-wide
+	// backpressure (the fabric's saturation signal) rejects here, so a
+	// saturated fleet sheds load at the front door instead of queueing
+	// work it cannot start.
+	if m.opts.Gate != nil {
+		if err := m.opts.Gate(); err != nil {
+			m.met.rejected.With("fleet").Inc()
+			return nil, err
+		}
+	}
 	jctx, jcancel := context.WithCancel(m.ctx)
 	m.mu.Lock()
 	if m.closed || len(m.pending) >= m.opts.QueueDepth {
@@ -588,6 +636,79 @@ func (m *Manager) restore(sub journal.Submit) bool {
 	return true
 }
 
+// restoreDone restores one journaled completed job as a Done table
+// entry under its original ID, with the exact result bytes the
+// previous process produced — so a restart does not lose results no
+// cache tier could reproduce. The entry is unjournaled (sub nil): it
+// is already terminal on disk and ages out of the table normally.
+func (m *Manager) restoreDone(cj journal.CompletedJob) bool {
+	sub := cj.Submit
+	if sub.ID == "" || len(cj.Body) == 0 {
+		return false
+	}
+	seq := 0
+	if n, err := strconv.Atoi(strings.TrimPrefix(sub.ID, "j")); err == nil {
+		seq = n
+	}
+	task := ""
+	if sub.Run != nil {
+		task = sub.Run.Normalize().Benchmark + "/" + sub.Run.ControllerName()
+	}
+	now := time.Now()
+	jctx, jcancel := context.WithCancel(m.ctx)
+	j := &Job{
+		id: sub.ID, kind: sub.Kind, client: sub.Client,
+		state: Done, done: 1, total: 1, task: task,
+		result:  cj.Body,
+		created: now, started: now, finished: now,
+		ctx: jctx, cancel: jcancel, watch: make(chan struct{}),
+	}
+	m.mu.Lock()
+	if _, dup := m.jobs[j.id]; dup || j.id == "" {
+		m.mu.Unlock()
+		jcancel()
+		return false
+	}
+	if seq > m.seq {
+		m.seq = seq
+	}
+	m.jobs[j.id] = j
+	m.mu.Unlock()
+	jcancel() // already terminal; release the context immediately
+	m.noteTerminal(j.id)
+	return true
+}
+
+// journalResult persists the completed result bytes of a job whose
+// output nothing else can reproduce: runs with no result store behind
+// the manager, or runs whose controller has no content address (so the
+// store could never hold them). Addressable runs skip it — the result
+// cache's disk tier already owns those bytes.
+func (m *Manager) journalResult(j *Job, body []byte) {
+	if j.sub == nil || j.sub.Run == nil || m.ctx.Err() != nil {
+		return
+	}
+	if len(body) > journal.MaxResultBytes {
+		return
+	}
+	if m.opts.Cache != nil {
+		if _, err := j.sub.Run.Key(); err == nil {
+			return // content-addressed and stored: the cache replays it
+		}
+	}
+	m.mu.Lock()
+	jnl := m.jnl
+	m.mu.Unlock()
+	if jnl == nil {
+		return
+	}
+	if err := jnl.Result(j.id, body); err != nil {
+		m.log.Error("journal result append failed; persistence degraded",
+			"job", j.id, "error", err)
+		m.met.journalErrors.Inc()
+	}
+}
+
 // submitAs validates and enqueues one journaled submission on behalf of
 // client — the shared entry behind every Submit*As method.
 func (m *Manager) submitAs(client string, sub *journal.Submit) (*Job, error) {
@@ -609,7 +730,9 @@ func (m *Manager) runRun(r wire.RunRequest) func(ctx context.Context, j *Job) ([
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		body, hit, err := r.RunStreamHooked(ctx, m.opts.Cache, m.runHooks(j, r, nil))
+		body, hit, dispatched, err := m.runOrDispatch(ctx, r, func() ([]byte, bool, error) {
+			return r.RunStreamHooked(ctx, m.opts.Cache, m.runHooks(j, r, nil))
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -617,9 +740,25 @@ func (m *Manager) runRun(r wire.RunRequest) func(ctx context.Context, j *Job) ([
 			j.done = 1
 			j.task = r.Normalize().Benchmark + "/" + r.ControllerName()
 			j.hit = hit
+			j.dispatched = dispatched
 		})
 		return body, nil
 	}
+}
+
+// runOrDispatch routes one run: through the fabric dispatch hook when
+// one is configured and the spec has a content address, locally
+// otherwise (no hook, or an opaque controller the fabric cannot
+// re-derive a key for).
+func (m *Manager) runOrDispatch(ctx context.Context, r wire.RunRequest, local func() ([]byte, bool, error)) (body []byte, hit, dispatched bool, err error) {
+	if m.opts.Dispatch != nil {
+		if key, kerr := r.Key(); kerr == nil {
+			body, hit, err = m.opts.Dispatch(ctx, key, r)
+			return body, hit, true, err
+		}
+	}
+	body, hit, err = local()
+	return body, hit, false, err
 }
 
 // SubmitRun enqueues one simulation run (see runRun for its execution
@@ -685,13 +824,19 @@ func (m *Manager) runBatch(reqs []wire.RunRequest) func(ctx context.Context, j *
 		// bytes instead of a decode/re-encode round trip per run.
 		bodies := make([][]byte, len(reqs))
 		batch := make([]mcd.RunRequest, len(reqs))
+		var anyDispatched atomic.Bool
 		for i, r := range reqs {
 			i, r := i, r
 			n := r.Normalize()
 			batch[i] = mcd.RunRequest{
 				Name: fmt.Sprintf("%s/%s", n.Benchmark, r.ControllerName()),
-				Do: func(context.Context) (mcd.Result, error) {
-					b, _, err := r.RunCachedBytes(m.opts.Cache)
+				Do: func(tctx context.Context) (mcd.Result, error) {
+					b, _, dispatched, err := m.runOrDispatch(tctx, r, func() ([]byte, bool, error) {
+						return r.RunCachedBytes(m.opts.Cache)
+					})
+					if dispatched {
+						anyDispatched.Store(true)
+					}
 					bodies[i] = b
 					return mcd.Result{}, err
 				},
@@ -713,6 +858,9 @@ func (m *Manager) runBatch(reqs []wire.RunRequest) func(ctx context.Context, j *
 			}
 			b := bodies[i]
 			results[i] = b[:len(b)-1] // strip canonical trailing newline inside the array
+		}
+		if anyDispatched.Load() {
+			j.update(func(j *Job) { j.dispatched = true })
 		}
 		body, err := json.Marshal(results)
 		if err != nil {
@@ -743,6 +891,16 @@ func (m *Manager) runExperiment(e wire.ExperimentRequest) func(ctx context.Conte
 		opts.Context = ctx
 		opts.Progress = func(done, total int, name string) {
 			j.update(func(j *Job) { j.done, j.total, j.task = done, total, name })
+		}
+		if dispatch := m.opts.Dispatch; dispatch != nil {
+			// Every addressable grid cell of the experiment flows to the
+			// fleet; the adapter proves the cell's content address equals
+			// the wire request's before any bytes cross a process.
+			opts.Exec = wire.ExecAdapter(func(ctx context.Context, key string, req wire.RunRequest) ([]byte, error) {
+				b, _, err := dispatch(ctx, key, req)
+				return b, err
+			})
+			j.update(func(j *Job) { j.dispatched = true })
 		}
 		res, err := wire.RunExperimentRequest(opts, e)
 		if err != nil {
@@ -916,18 +1074,19 @@ type Job struct {
 	cancel context.CancelFunc
 	run    func(ctx context.Context, j *Job) ([]byte, error)
 
-	mu       sync.Mutex
-	state    State
-	done     int
-	total    int
-	task     string
-	errMsg   string
-	result   []byte
-	hit      bool
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	watch    chan struct{}
+	mu         sync.Mutex
+	state      State
+	done       int
+	total      int
+	task       string
+	errMsg     string
+	result     []byte
+	hit        bool
+	dispatched bool
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+	watch      chan struct{}
 
 	// Interval log of a stream job: ivs[0] is interval number ivBase of
 	// the run (the log is bounded; a watcher that lags more than
@@ -1038,10 +1197,13 @@ type Snapshot struct {
 	Error string `json:"error,omitempty"`
 	// CacheHit reports that a single-run job was served from the result
 	// store.
-	CacheHit bool      `json:"cache_hit,omitempty"`
-	Created  time.Time `json:"created"`
-	Started  time.Time `json:"started,omitzero"`
-	Finished time.Time `json:"finished,omitzero"`
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Dispatched reports that some or all of the job's simulations ran
+	// on the distributed fabric rather than in this process.
+	Dispatched bool      `json:"dispatched,omitempty"`
+	Created    time.Time `json:"created"`
+	Started    time.Time `json:"started,omitzero"`
+	Finished   time.Time `json:"finished,omitzero"`
 }
 
 // Terminal reports whether the job has stopped moving.
@@ -1054,7 +1216,7 @@ func (j *Job) Snapshot() Snapshot {
 	return Snapshot{
 		ID: j.id, Kind: j.kind, State: j.state,
 		Done: j.done, Total: j.total, Task: j.task,
-		Error: j.errMsg, CacheHit: j.hit,
+		Error: j.errMsg, CacheHit: j.hit, Dispatched: j.dispatched,
 		Created: j.created, Started: j.started, Finished: j.finished,
 	}
 }

@@ -1,0 +1,51 @@
+package wire_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"mcd/internal/bench"
+	"mcd/internal/wire"
+)
+
+// TestCellRequestSharesAddress is the fabric's addressing pin: every
+// cell the harness dispatches converts (CellRequest) into a RunRequest
+// whose content address equals the key the harness computed itself, so
+// a worker-computed cell lands in the shared store under the exact key
+// every other execution path probes. The grid runs once with the Exec
+// hook dispatching to a local executor and once without; the rendered
+// table must not notice.
+func TestCellRequestSharesAddress(t *testing.T) {
+	grid := func() bench.Options {
+		o := bench.DefaultOptions()
+		o.Window = 6_000
+		o.Warmup = 3_000
+		o.IntervalLength = 500
+		o.OfflineIters = 2
+		o.Workers = 4
+		o.Benchmarks = []string{"adpcm", "mcf"}
+		return o
+	}
+	local := grid()
+	want := bench.Table6(local.RunAll())
+
+	var mu sync.Mutex
+	cells := 0
+	hooked := grid()
+	hooked.Exec = wire.ExecAdapter(func(ctx context.Context, key string, req wire.RunRequest) ([]byte, error) {
+		mu.Lock()
+		cells++
+		mu.Unlock()
+		body, _, err := req.RunStreamHooked(ctx, nil, wire.RunHooks{})
+		return body, err
+	})
+	got := bench.Table6(hooked.RunAll())
+
+	if got != want {
+		t.Fatalf("dispatched grid renders differently:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if cells == 0 {
+		t.Fatal("Exec hook never fired — the grid bypassed dispatch")
+	}
+}
