@@ -35,6 +35,7 @@ import (
 	"mcd/internal/bench"
 	"mcd/internal/prof"
 	"mcd/internal/service"
+	"mcd/internal/sim"
 	"mcd/internal/wire"
 )
 
@@ -54,13 +55,26 @@ func main() {
 		benchJSON = flag.Bool("benchjson", false, "run the hot-path perf benchmarks and print the JSON report (BENCH_5.json schema)")
 		baseline  = flag.String("benchbaseline", "", "with -benchjson: compare against this committed report and exit 1 on regression")
 		server    = flag.String("server", "", "submit the experiment to this mcdserve base URL instead of computing in-process")
+		fidelity  = flag.String("fidelity", "", "simulation tier: exact (default) | sampled (interval sampling with checkpointed warmup reuse)")
+		sampleN   = flag.Int("sample-every", 0, "sampled tier's detailed-interval cadence (0: default 10)")
+		validate  = flag.Bool("validate-fidelity", false, "run the comparison grid exact AND sampled, report sampled-vs-exact error and speedup, exit 1 over the bounds")
+		maxErr    = flag.Float64("max-err", 0.02, "with -validate-fidelity: maximum mean relative CPI/EPI error across the grid")
+		maxCell   = flag.Float64("max-cell-err", 0.06, "with -validate-fidelity: maximum single-cell relative CPI/EPI error")
+		minSpeed  = flag.Float64("min-speedup", 5, "with -validate-fidelity: minimum sampled-over-exact wall-clock speedup (0: don't gate)")
 	)
 	flag.Parse()
+
+	fid, err := sim.ParseFidelity(*fidelity)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcdbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *server != "" {
 		req := wire.ExperimentRequest{
 			Name: *exp, Quick: *quick,
 			Window: *window, Warmup: *warmup,
+			Fidelity: fid, SampleEvery: *sampleN,
 		}
 		if *benchF != "" {
 			req.Benchmarks = bench.SplitNames(*benchF)
@@ -104,6 +118,29 @@ func main() {
 		opts.Log = os.Stderr
 	}
 	opts.Workers = *workers
+	opts.Fidelity = fid
+	opts.SampleEvery = *sampleN
+
+	if *validate {
+		// The validation harness times both tiers itself; a cache would
+		// turn the exact leg into store lookups, so -cache is rejected.
+		if *cacheDir != "" {
+			fmt.Fprintln(os.Stderr, "mcdbench: -validate-fidelity and -cache are incompatible (timing needs real runs)")
+			os.Exit(2)
+		}
+		report := opts.ValidateFidelity()
+		fmt.Print(report.Format())
+		if fails := report.Check(*maxErr, *maxCell, *minSpeed); len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintf(os.Stderr, "mcdbench: fidelity validation failed: %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mcdbench: fidelity validation passed (max err %.2f%%, speedup %.1f×)\n",
+			max(report.MaxCPIErr, report.MaxEPIErr)*100, report.Speedup)
+		return
+	}
+
 	if err := opts.AttachCache(*cacheDir); err != nil {
 		fmt.Fprintf(os.Stderr, "mcdbench: %v\n", err)
 		os.Exit(1)

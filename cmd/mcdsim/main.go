@@ -42,6 +42,8 @@ func main() {
 		warmup   = flag.Uint64("warmup", 200_000, "warmup instructions")
 		interval = flag.Uint64("interval", 1000, "controller sampling interval (instructions)")
 		slew     = flag.Float64("slew", 4.91, "regulator slew in ns/MHz (paper scale: 49.1)")
+		fidelity = flag.String("fidelity", "", "simulation tier: exact (default) | sampled (interval sampling with checkpointed warmup reuse)")
+		sampleN  = flag.Int("sample-every", 0, "sampled tier's detailed-interval cadence (0: default 10)")
 		jsonOut  = flag.Bool("json", false, "emit the canonical machine-readable result encoding")
 		live     = flag.Bool("live", false, "print each control interval as it is produced (with -json: NDJSON stream frames)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (written on clean exit)")
@@ -79,6 +81,8 @@ func main() {
 		Warmup:       warmup,
 		Interval:     interval,
 		SlewNsPerMHz: slew,
+		Fidelity:     *fidelity,
+		SampleEvery:  *sampleN,
 	}
 	// Reject unknown benchmark/controller/parameter values up front with
 	// the valid sets, before any simulation starts.

@@ -40,6 +40,8 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 		workers    = flag.Int("workers", runtime.NumCPU(), "parallel simulation workers (results are identical for any value)")
 		cacheDir   = flag.String("cache", "", "result-store directory: completed sweep cells are reused across invocations")
+		fidelity   = flag.String("fidelity", "", "simulation tier: exact (default) | sampled (interval sampling with checkpointed warmup reuse)")
+		sampleN    = flag.Int("sample-every", 0, "sampled tier's detailed-interval cadence (0: default 10)")
 	)
 	flag.Parse()
 
@@ -68,7 +70,8 @@ func main() {
 	// One rendering path with the service: wire owns the experiment
 	// execution, so CLI output and mcdserve experiment bodies stay
 	// byte-for-byte in agreement.
-	req := wire.ExperimentRequest{Name: "sweep-" + *param, Values: vals}
+	req := wire.ExperimentRequest{Name: "sweep-" + *param, Values: vals,
+		Fidelity: *fidelity, SampleEvery: *sampleN}
 	if *controller != "" {
 		fixed, err := wire.ParseParams(*set)
 		if err != nil {
@@ -76,11 +79,13 @@ func main() {
 			os.Exit(2)
 		}
 		req = wire.ExperimentRequest{
-			Name:       wire.ExpSweepController,
-			Controller: *controller,
-			Param:      *param,
-			Values:     vals,
-			Params:     fixed,
+			Name:        wire.ExpSweepController,
+			Controller:  *controller,
+			Param:       *param,
+			Values:      vals,
+			Params:      fixed,
+			Fidelity:    *fidelity,
+			SampleEvery: *sampleN,
 		}
 	} else {
 		if *set != "" {

@@ -38,6 +38,14 @@ type Options struct {
 	SlewNsPerMHz   float64 // regulator slew (compressed with the interval)
 	Params         core.Params
 	OfflineIters   int
+	// Fidelity selects the simulation tier for every grid cell ("" or
+	// sim.FidelityExact: the default cycle-exact engine,
+	// sim.FidelitySampled: interval sampling with checkpointed warmup
+	// reuse); SampleEvery is the sampled tier's detailed-interval cadence
+	// (zero: sim.DefaultSampleEvery). Sampled cells key apart from exact
+	// ones in the result store, so the tiers never alias.
+	Fidelity    string
+	SampleEvery int
 	// Workers bounds the number of simulations running concurrently;
 	// zero or negative means GOMAXPROCS. Results do not depend on it.
 	Workers int
@@ -181,6 +189,8 @@ func (o Options) controlRun(b workload.Benchmark) control.Run {
 		Window:         o.Window,
 		Warmup:         o.Warmup,
 		IntervalLength: o.IntervalLength,
+		Fidelity:       o.Fidelity,
+		SampleEvery:    o.SampleEvery,
 	}
 }
 

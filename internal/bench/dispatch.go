@@ -19,6 +19,11 @@ type Cell struct {
 	Warmup     uint64             `json:"warmup"`
 	Interval   uint64             `json:"interval"`
 	Slew       float64            `json:"slew"`
+	// Fidelity and SampleEvery carry the cell's simulation tier (empty:
+	// exact), so a sampled cell dispatched to a fabric worker re-executes
+	// at the tier it was keyed under.
+	Fidelity    string `json:"fidelity,omitempty"`
+	SampleEvery int    `json:"sample_every,omitempty"`
 }
 
 // ExecFunc executes one grid cell out of process and returns its
@@ -40,14 +45,16 @@ func (o Options) cell(label, bench, ctrl, key string, p map[string]float64) Cell
 		}
 	}
 	return Cell{
-		Label:      label,
-		Key:        key,
-		Benchmark:  bench,
-		Controller: ctrl,
-		Params:     params,
-		Window:     o.Window,
-		Warmup:     o.Warmup,
-		Interval:   o.IntervalLength,
-		Slew:       o.SlewNsPerMHz,
+		Label:       label,
+		Key:         key,
+		Benchmark:   bench,
+		Controller:  ctrl,
+		Params:      params,
+		Window:      o.Window,
+		Warmup:      o.Warmup,
+		Interval:    o.IntervalLength,
+		Slew:        o.SlewNsPerMHz,
+		Fidelity:    o.Fidelity,
+		SampleEvery: o.SampleEvery,
 	}
 }

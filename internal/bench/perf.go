@@ -101,6 +101,17 @@ func MeasurePerf() PerfReport {
 		}
 	})
 
+	sampled := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			spec := perfSpec()
+			spec.Fidelity = sim.FidelitySampled
+			if res := sim.Run(spec); res.Instructions != perfWindow {
+				b.Fatalf("sampled run retired %d measured instructions, want %d", res.Instructions, perfWindow)
+			}
+		}
+	})
+
 	hot := testing.Benchmark(func(b *testing.B) {
 		spec := perfSpec()
 		gen := spec.Profile.NewGenerator(perfWarmup + perfWindow)
@@ -137,7 +148,11 @@ func MeasurePerf() PerfReport {
 		GOARCH:    runtime.GOARCH,
 		Benchmarks: map[string]PerfMeasurement{
 			"single_run": measurement(singles, perfWarmup+perfWindow),
-			"hot_loop":   measurement(hot, perfInterval),
+			// sampled_run is the same unit of work at sampled fidelity with
+			// warmup reuse warm (the steady state of a sampled sweep); its
+			// sim-MIPS over single_run's is the fidelity tier's speedup.
+			"sampled_run": measurement(sampled, perfWarmup+perfWindow),
+			"hot_loop":    measurement(hot, perfInterval),
 		},
 	}
 }

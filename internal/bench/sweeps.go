@@ -166,13 +166,7 @@ func (o Options) SweepController(name, param string, values []float64, fixed map
 			return nil, err
 		}
 		for _, b := range cat {
-			run := control.Run{
-				Config:         o.config(),
-				Profile:        b.Profile,
-				Window:         o.Window,
-				Warmup:         o.Warmup,
-				IntervalLength: o.IntervalLength,
-			}
+			run := o.controlRun(b)
 			label := fmt.Sprintf("%s/%s@%g", b.Name, name, v)
 			grid = append(grid, o.controlTask(b.Name, label, name, p, res, run))
 		}

@@ -225,3 +225,29 @@ func (p *Predictor) SetTarget(pc, target uint64) {
 
 // Stats returns a copy of the accuracy counters.
 func (p *Predictor) Stats() Stats { return p.stats }
+
+// Clone returns a deep copy of the predictor — an independent snapshot
+// for checkpointed warmup reuse.
+func (p *Predictor) Clone() *Predictor {
+	q := &Predictor{cfg: p.cfg, histMask: p.histMask, tick: p.tick, stats: p.stats}
+	q.bimodal = append([]counter(nil), p.bimodal...)
+	q.history = append([]uint32(nil), p.history...)
+	q.pattern = append([]counter(nil), p.pattern...)
+	q.chooser = append([]counter(nil), p.chooser...)
+	q.btb = append([]btbEntry(nil), p.btb...)
+	return q
+}
+
+// CopyFrom restores the predictor to src's exact state, reusing the
+// receiver's tables. Both predictors must share a configuration (the
+// warm-restore path guarantees it: snapshot keys include the config).
+func (p *Predictor) CopyFrom(src *Predictor) {
+	copy(p.bimodal, src.bimodal)
+	copy(p.history, src.history)
+	copy(p.pattern, src.pattern)
+	copy(p.chooser, src.chooser)
+	copy(p.btb, src.btb)
+	p.histMask = src.histMask
+	p.tick = src.tick
+	p.stats = src.stats
+}

@@ -123,6 +123,22 @@ func (c *Cache) Probe(addr uint64) bool {
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// Clone returns a deep copy — an independent snapshot of the tag state
+// and counters for checkpointed warmup reuse.
+func (c *Cache) Clone() *Cache {
+	q := *c
+	q.sets = append([]line(nil), c.sets...)
+	return &q
+}
+
+// CopyFrom restores src's exact state into the receiver, reusing its tag
+// array. Both caches must share a geometry.
+func (c *Cache) CopyFrom(src *Cache) {
+	copy(c.sets, src.sets)
+	c.tick = src.tick
+	c.stats = src.stats
+}
+
 // Level identifies where in the hierarchy an access was satisfied.
 type Level uint8
 
@@ -163,6 +179,18 @@ func (h *Hierarchy) Reset() {
 	h.L1I.Reset()
 	h.L1D.Reset()
 	h.L2C.Reset()
+}
+
+// Clone returns a deep copy of all three caches.
+func (h *Hierarchy) Clone() *Hierarchy {
+	return &Hierarchy{L1I: h.L1I.Clone(), L1D: h.L1D.Clone(), L2C: h.L2C.Clone()}
+}
+
+// CopyFrom restores src's exact state into the receiver's caches.
+func (h *Hierarchy) CopyFrom(src *Hierarchy) {
+	h.L1I.CopyFrom(src.L1I)
+	h.L1D.CopyFrom(src.L1D)
+	h.L2C.CopyFrom(src.L2C)
 }
 
 // Inst performs an instruction fetch access and returns the satisfying

@@ -148,6 +148,47 @@ func (c *Clock) PeriodPS() float64 { return c.periodPS }
 // Cycles returns the number of edges consumed so far.
 func (c *Clock) Cycles() uint64 { return c.cycles }
 
+// State is a snapshot of a clock's mutable fields — everything except
+// the jitter sigma and rng, which are fixed at Reset and restored by the
+// owner (the pipeline core keeps the jitter rng positions separately).
+type State struct {
+	PeriodPS float64
+	BasePS   float64
+	JitPS    float64
+	LastPS   float64
+	Cycles   uint64
+}
+
+// State captures the clock's mutable fields for a snapshot.
+func (c *Clock) State() State {
+	return State{PeriodPS: c.periodPS, BasePS: c.basePS, JitPS: c.jitPS, LastPS: c.lastPS, Cycles: c.cycles}
+}
+
+// SetState restores a snapshot taken with State. The caller must Refresh
+// any scheduler caching this clock's pending edge.
+func (c *Clock) SetState(s State) {
+	c.periodPS = s.PeriodPS
+	c.basePS = s.BasePS
+	c.jitPS = s.JitPS
+	c.lastPS = s.LastPS
+	c.cycles = s.Cycles
+}
+
+// FastForwardTo advances the ideal edge grid past time t by whole
+// periods without consuming edges one by one: the pending jitter sample
+// is kept (no rng draws, so the jitter stream stays deterministic) and
+// the skipped periods are credited to the cycle counter. Used by the
+// sampled fidelity tier to jump over fast-forwarded control intervals.
+// The caller must Refresh any scheduler caching this clock's edges.
+func (c *Clock) FastForwardTo(t float64) {
+	if c.basePS >= t {
+		return
+	}
+	n := math.Ceil((t - c.basePS) / c.periodPS)
+	c.basePS += n * c.periodPS
+	c.cycles += uint64(n)
+}
+
 // Visible implements the Sjogren–Myers arbitration test: a signal produced
 // in a source domain at time producedPS can be latched at a destination
 // edge at time edgePS only if the edges are at least windowPS apart.

@@ -29,7 +29,7 @@ func init() {
 				// harness's sync column always has.
 				f = r.Config.MaxFreqMHz
 			}
-			return sim.SynchronousSpec(r.Config, r.Profile, r.Window, r.Warmup, f, r.Name), nil
+			return r.syncSpec(f), nil
 		},
 	})
 
@@ -91,8 +91,7 @@ func init() {
 		Build: func(r Run, p Params) (sim.Spec, error) {
 			base := p["base_ps"]
 			if base == 0 {
-				base = sim.RunSynchronousAt(r.Config, r.Profile, r.Window, r.Warmup,
-					r.Config.MaxFreqMHz, r.Name).TimePS
+				base = sim.Run(r.syncSpec(r.Config.MaxFreqMHz)).TimePS
 			}
 			// GlobalMatch's result is itself a synchronous run at the
 			// matched frequency, so re-running the returned spec is
@@ -101,15 +100,17 @@ func init() {
 			// one window-length run beyond the bisection's probes — the
 			// price of making Global(·) a content-addressed registry
 			// citizen; warm caches never pay it.
-			freq, _ := core.GlobalMatch(r.Config, r.Profile, r.Window, r.Warmup, base, p["deg"], r.Name)
-			return sim.SynchronousSpec(r.Config, r.Profile, r.Window, r.Warmup, freq, r.Name), nil
+			freq, _ := core.GlobalMatchFidelity(r.Config, r.Profile, r.Window, r.Warmup, base, p["deg"], r.Name,
+				r.Fidelity, r.SampleEvery, r.IntervalLength)
+			return r.syncSpec(freq), nil
 		},
 		// The bisection is the expensive part; the content address is the
 		// max-frequency synchronous spec plus the search parameters —
 		// the exact extra format the bench harness has always used for
-		// its Global(·) compound cells.
+		// its Global(·) compound cells. The fidelity line rides on the
+		// spec, so sampled Global(·) cells key apart from exact ones.
 		KeySpec: func(r Run, p Params) (sim.Spec, string, error) {
-			return sim.SynchronousSpec(r.Config, r.Profile, r.Window, r.Warmup, r.Config.MaxFreqMHz, r.Name),
+			return r.syncSpec(r.Config.MaxFreqMHz),
 				fmt.Sprintf("global|base=%s|deg=%s", resultcache.Float(p["base_ps"]), resultcache.Float(p["deg"])), nil
 		},
 	})
@@ -152,6 +153,8 @@ func offlineOpts(r Run, p Params) core.OfflineOptions {
 		AdaptiveStep:   p["adapt"] != 0,
 		Warmup:         r.Warmup,
 		IntervalLength: r.IntervalLength,
+		Fidelity:       r.Fidelity,
+		SampleEvery:    r.SampleEvery,
 	}
 }
 

@@ -95,6 +95,15 @@ type Run struct {
 	// Name labels the Result (sim.Spec.Name); empty means the name the
 	// controller was requested under.
 	Name string
+	// Fidelity selects the simulation tier ("" or sim.FidelityExact for
+	// the exact engine, sim.FidelitySampled for interval sampling);
+	// SampleEvery is the sampled tier's detailed-interval cadence (zero
+	// uses sim.DefaultSampleEvery). Both thread verbatim into every spec
+	// a definition builds, including the compound preparations (off-line
+	// schedule search, global matching), so a sampled request is sampled
+	// end to end and keyed apart from exact.
+	Fidelity    string
+	SampleEvery int
 }
 
 // spec is the plain sim.Spec for the run, before any controller is
@@ -107,7 +116,33 @@ func (r Run) spec() sim.Spec {
 		Warmup:         r.Warmup,
 		IntervalLength: r.IntervalLength,
 		Name:           r.Name,
+		Fidelity:       r.Fidelity,
+		SampleEvery:    r.SampleEvery,
 	}
+}
+
+// withFidelity stamps the run's fidelity tier onto a spec built some
+// other way (the synchronous and global definitions construct theirs via
+// sim.SynchronousSpec).
+func (r Run) withFidelity(s sim.Spec) sim.Spec {
+	s.Fidelity = r.Fidelity
+	s.SampleEvery = r.SampleEvery
+	return s
+}
+
+// syncSpec is the fully synchronous spec at frequency f under the run's
+// fidelity tier. At sampled fidelity the request's interval length is
+// threaded through as well — it is the sampling unit, and the default
+// 10k-instruction interval would leave a quick-scale window with too few
+// samples to calibrate on. At exact fidelity the synchronous machine has
+// no controller observing intervals and keeps its historical
+// default-length intervals (and their byte-identical stream frames).
+func (r Run) syncSpec(f float64) sim.Spec {
+	s := r.withFidelity(sim.SynchronousSpec(r.Config, r.Profile, r.Window, r.Warmup, f, r.Name))
+	if s.Sampled() {
+		s.IntervalLength = r.IntervalLength
+	}
+	return s
 }
 
 // Definition is one registered controller factory.

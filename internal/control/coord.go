@@ -97,6 +97,11 @@ func (c *Coord) DecisionNote() string {
 // the IPC guard, then split it across domains by inverse occupancy.
 func (c *Coord) Observe(iv pipeline.IntervalView) [clock.NumControllable]float64 {
 	var targets [clock.NumControllable]float64
+	if iv.Estimated {
+		// Sampled fidelity: a frozen occupancy view would grow the budget
+		// every skipped interval. Hold until the next detailed sample.
+		return targets
+	}
 	targets[clock.FrontEnd] = c.feMHz
 
 	if !c.haveIPC {

@@ -100,6 +100,11 @@ func (c *PI) DecisionNote() string {
 // domain per interval.
 func (c *PI) Observe(iv pipeline.IntervalView) [clock.NumControllable]float64 {
 	var targets [clock.NumControllable]float64
+	if iv.Estimated {
+		// Sampled fidelity: replayed occupancy would integrate a frozen
+		// error term. Hold state and frequencies until real data.
+		return targets
+	}
 	targets[clock.FrontEnd] = c.feMHz
 
 	for _, d := range []clock.Domain{clock.Integer, clock.FloatingPoint, clock.LoadStore} {

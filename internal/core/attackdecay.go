@@ -129,6 +129,12 @@ func (a *AttackDecay) CacheKey() string {
 
 // Observe implements Listing 1 of the paper for each controlled domain.
 func (a *AttackDecay) Observe(iv pipeline.IntervalView) [clock.NumControllable]float64 {
+	// Estimated (fast-forwarded) intervals run the same algorithm: their
+	// frozen queue utilization reads as a quiet phase, so the replay
+	// decays — which is what the exact tier does in a quiet phase, and the
+	// pipeline only schedules skips while the controller has been quiet
+	// (see Core.noteTargets). End-stop probes still fire during skips and
+	// densify the sampling behind them.
 	var targets [clock.NumControllable]float64
 	targets[clock.FrontEnd] = a.p.FrontEndMHz
 

@@ -20,12 +20,31 @@ import (
 // degrade sublinearly in frequency, which is precisely why global scaling
 // saves so little energy per unit of slowdown (ratio ≈ 2).
 func GlobalMatch(cfg pipeline.Config, prof workload.Profile, window, warmup uint64, baseTime float64, targetDeg float64, name string) (float64, stats.Result) {
+	return GlobalMatchFidelity(cfg, prof, window, warmup, baseTime, targetDeg, name, "", 0, 0)
+}
+
+// GlobalMatchFidelity is GlobalMatch with the bisection's probe runs
+// executed at the given fidelity tier ("" = exact), so a sampled request
+// pays sampled prices for the search. The exact-tier path is GlobalMatch
+// verbatim.
+func GlobalMatchFidelity(cfg pipeline.Config, prof workload.Profile, window, warmup uint64, baseTime float64, targetDeg float64, name, fidelity string, sampleEvery int, intervalLen uint64) (float64, stats.Result) {
+	runAt := func(f float64) stats.Result {
+		spec := sim.SynchronousSpec(cfg, prof, window, warmup, f, name)
+		spec.Fidelity = fidelity
+		spec.SampleEvery = sampleEvery
+		if spec.Sampled() {
+			// The interval is the sampling unit; exact probes keep the
+			// pipeline's default-length intervals unchanged.
+			spec.IntervalLength = intervalLen
+		}
+		return sim.Run(spec)
+	}
 	scale := dvfs.DefaultScale()
 	lo, hi := 0, scale.Points()-1 // index 0 = 250 MHz, max index = 1000 MHz
 	freqAt := func(i int) float64 { return scale.MinFreqMHz() + float64(i)*scale.StepMHz() }
 
 	if targetDeg <= 0 {
-		res := sim.RunSynchronousAt(cfg, prof, window, warmup, freqAt(hi), name)
+		res := runAt(freqAt(hi))
 		return freqAt(hi), res
 	}
 
@@ -35,7 +54,7 @@ func GlobalMatch(cfg pipeline.Config, prof workload.Profile, window, warmup uint
 	for lo < hi {
 		mid := (lo + hi) / 2
 		f := freqAt(mid)
-		res := sim.RunSynchronousAt(cfg, prof, window, warmup, f, name)
+		res := runAt(f)
 		deg := res.TimePS/baseTime - 1
 		diff := deg - targetDeg
 		if bestDiff < 0 || abs(diff) < bestDiff {
@@ -50,7 +69,7 @@ func GlobalMatch(cfg pipeline.Config, prof workload.Profile, window, warmup uint
 		}
 	}
 	if best.Instructions == 0 {
-		best = sim.RunSynchronousAt(cfg, prof, window, warmup, bestFreq, name)
+		best = runAt(bestFreq)
 	}
 	return bestFreq, best
 }

@@ -113,6 +113,14 @@ type OfflineOptions struct {
 	// replay; it must match the final run's interval length for the
 	// schedule indices to line up. Zero uses the pipeline default.
 	IntervalLength uint64
+	// Fidelity and SampleEvery select the simulation tier for the
+	// profiling and candidate-evaluation runs (sim.FidelityExact /
+	// sim.FidelitySampled), so a sampled request pays sampled prices for
+	// the schedule search too. They are part of the run spec, not the
+	// search parameters, so CacheExtra never encodes them — the outer
+	// spec key line does.
+	Fidelity    string
+	SampleEvery int
 	// Candidates is how many step-aggressiveness variants of the
 	// refinement rule each iteration evaluates (concurrently, through the
 	// runner pool) before committing to the best one. 1 — the default —
@@ -237,6 +245,7 @@ func BuildOffline(cfg pipeline.Config, prof workload.Profile, window uint64, opt
 		Config: cfg, Profile: prof, Window: window, Warmup: opts.Warmup,
 		IntervalLength:  opts.IntervalLength,
 		RecordIntervals: true, Name: "mcd-baseline",
+		Fidelity: opts.Fidelity, SampleEvery: opts.SampleEvery,
 	})
 	nIv := len(base.Intervals)
 	sched := make(Schedule, max(nIv, 1))
@@ -266,6 +275,7 @@ func BuildOffline(cfg pipeline.Config, prof workload.Profile, window uint64, opt
 				IntervalLength: opts.IntervalLength,
 				Controller:     ctrl, InitialFreqMHz: ctrl.Initial(),
 				RecordIntervals: true, Name: name,
+				Fidelity: opts.Fidelity, SampleEvery: opts.SampleEvery,
 			})
 		}
 		outs, _ := runner.Map(context.Background(), tasks, runner.Options{Workers: opts.Workers})

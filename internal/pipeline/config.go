@@ -146,6 +146,15 @@ type IntervalView struct {
 	// IPC is instructions per 1 GHz reference cycle — the single global
 	// performance counter the paper shares with every domain.
 	IPC float64
+	// Estimated marks a fast-forwarded interval under sampled fidelity:
+	// the queue and IPC fields are extrapolations of the last detailed
+	// interval, not measurements. Reactive controllers should hold (return
+	// zero targets, update no state) rather than steer on replayed data —
+	// the utilization deltas they react to are frozen across a skip, which
+	// reads as an endless quiet phase and drives decay-style feedback off
+	// its exact-tier trajectory. Schedule-replay controllers advance
+	// normally so their interval indices stay aligned.
+	Estimated bool
 }
 
 // RunOptions controls one simulation.
@@ -170,6 +179,16 @@ type RunOptions struct {
 	// RecordIntervals retains per-interval records in the Result for
 	// the Figure 2/3 traces.
 	RecordIntervals bool
+	// SampleEvery enables the sampled fidelity tier: every SampleEvery-th
+	// control interval is simulated in detail and the rest are
+	// fast-forwarded with an analytical model seeded by the most recent
+	// detailed interval (functional warming keeps caches and predictors
+	// trained through the skips). 0 (and 1) simulate every interval in
+	// detail; 0 additionally keeps the exact tier's semantics of letting
+	// on-line controllers observe warmup intervals, whereas any non-zero
+	// value leaves warmup uncontrolled so warmed state is
+	// controller-independent and checkpointed warmup reuse stays sound.
+	SampleEvery int
 	// OnInterval, if non-nil, is called with each measured control
 	// interval's record as it is produced (after the controller has
 	// observed the interval) — the streaming hook the session API and

@@ -13,6 +13,7 @@ import (
 	"mcd/internal/queue"
 	"mcd/internal/stats"
 	"mcd/internal/workload"
+	"mcd/internal/xrand"
 )
 
 // execDomain maps an instruction class to the domain that executes it.
@@ -68,6 +69,7 @@ type Core struct {
 	regs  [clock.NumControllable]*dvfs.Regulator
 	clks  [clock.NumControllable]*clock.Clock
 	jrng  [clock.NumControllable]*rand.Rand
+	jsrc  [clock.NumControllable]*xrand.Counting // jrng's sources, counted so warm snapshots can restore them
 	last  [clock.NumControllable]float64
 
 	// curFreq mirrors each domain clock's programmed frequency so the
@@ -127,6 +129,46 @@ type Core struct {
 
 	freqIntegral [clock.NumControllable]float64
 
+	// Sampled fidelity tier (opts.SampleEvery > 1): skipPending counts the
+	// control intervals scheduled for analytical fast-forward before the
+	// next detailed one; detail seeds the fast-forward model with the most
+	// recent detailed interval; ivStartEnergy anchors per-interval energy
+	// deltas; the err accumulators collect per-detailed-interval CPI/EPI
+	// samples for the confidence bounds Finish reports.
+	skipPending   int
+	detail        detailModel
+	ivStartEnergy [clock.NumControllable]float64
+	// ivStartEv anchors the cumulative event counters (L1 misses, L2
+	// misses, branch recoveries) and ivStartClkPJ each domain's clock
+	// energy at the interval start: the fast-forward model calibrates a
+	// penalty-per-event coefficient from each detailed interval's deltas
+	// and prices the skipped intervals by the events functional warming
+	// observes in them.
+	ivStartEv    [3]uint64
+	ivStartClkPJ [clock.NumControllable]float64
+	errCPI       errAcc
+	errEPI       errAcc
+	detailedIv   int
+	sampledIv    int
+	// ctrlPrev/ctrlQuiet drive adaptive skip scheduling: the last targets
+	// the controller commanded, and how many consecutive observations made
+	// no attack-sized move (see noteTargets). Skips are only scheduled
+	// once the controller has been quiet for a couple of observations, so
+	// reactive phases run detailed and quiet phases fast-forward.
+	ctrlPrev  [clock.NumControllable]float64
+	ctrlQuiet int
+	// stretchPenSum/stretchPenN accumulate the per-interval (full-interval
+	// normalized) warming penalties of the current skip stretch, feeding
+	// the penalty-basis ratio calibration (detailModel.rho) at the next
+	// detailed interval.
+	stretchPenSum float64
+	stretchPenN   int
+	// walkS/walkOff memoize the sampling-offset random walk (a pure
+	// function of the stratum index; see sampleOffset). Not part of a
+	// warm snapshot: a restored core replays the walk from scratch.
+	walkS   int
+	walkOff int
+
 	selBuf   []queue.Entry
 	selBuf2  []queue.Entry
 	storeBuf []storeRec
@@ -136,7 +178,10 @@ type Core struct {
 
 // New builds a core over the given workload generator.
 func New(cfg Config, gen workload.Generator) *Core {
-	return &Core{cfg: cfg, gen: gen, branchSeq: -1}
+	// walkS = -1 is the sampling-walk "not started" sentinel (see
+	// sampleOffset); Reset sets the same value so New and Reset cores
+	// schedule identical sample grids.
+	return &Core{cfg: cfg, gen: gen, branchSeq: -1, walkS: -1}
 }
 
 // Reset recycles a finished core for a new run over cfg and gen: all run
@@ -166,6 +211,17 @@ func (c *Core) Reset(cfg Config, gen workload.Generator) {
 	c.ivTicks = [clock.NumControllable]float64{}
 	c.nextIvAt = 0
 	c.freqIntegral = [clock.NumControllable]float64{}
+	c.skipPending = 0
+	c.detail = detailModel{}
+	c.ivStartEnergy = [clock.NumControllable]float64{}
+	c.ivStartEv = [3]uint64{}
+	c.ivStartClkPJ = [clock.NumControllable]float64{}
+	c.errCPI, c.errEPI = errAcc{}, errAcc{}
+	c.detailedIv, c.sampledIv = 0, 0
+	c.ctrlPrev = [clock.NumControllable]float64{}
+	c.ctrlQuiet = 0
+	c.stretchPenSum, c.stretchPenN = 0, 0
+	c.walkS, c.walkOff = -1, 0
 	// The previous Result owns the recorded intervals; never reuse them.
 	c.intervals = nil
 }
@@ -227,7 +283,11 @@ func (c *Core) Start(opts RunOptions) {
 		if jitter > 0 {
 			seed := cfg.Seed + int64(d)*7919
 			if c.jrng[d] == nil {
-				c.jrng[d] = rand.New(rand.NewSource(seed))
+				// The source is wrapped in a call counter purely so warm
+				// snapshots can capture the jitter stream position; the
+				// wrapper is stream transparent (see xrand).
+				c.jsrc[d] = xrand.NewCounting(seed)
+				c.jrng[d] = rand.New(c.jsrc[d])
 			} else {
 				c.jrng[d].Seed(seed)
 			}
@@ -320,6 +380,10 @@ func (c *Core) StepIntervals(n int) bool {
 		target = c.emitted + n
 	}
 	for !c.halted && c.retired < c.total && (target < 0 || c.emitted < target) {
+		if c.skipPending > 0 {
+			c.fastForwardInterval()
+			continue
+		}
 		d, t := c.sched.Advance()
 		c.now = t
 		dt := t - c.last[d]
@@ -428,6 +492,12 @@ func (c *Core) Finish() stats.Result {
 	res.BranchAccuracy = c.pred.Stats().Accuracy()
 	res.L1DMissRate = c.hier.L1D.Stats().MissRate()
 	res.L2MissRate = c.hier.L2C.Stats().MissRate()
+	if c.opts.SampleEvery > 1 {
+		res.DetailedIntervals = c.detailedIv
+		res.SampledIntervals = c.sampledIv
+		res.CPIErr95 = c.errCPI.rel95()
+		res.EPIErr95 = c.errEPI.rel95()
+	}
 	return res
 }
 
@@ -514,7 +584,7 @@ func (c *Core) feTick(t float64) {
 			c.mark(t)
 		}
 	}
-	for c.retired >= c.nextIvAt {
+	for c.skipPending == 0 && c.retired >= c.nextIvAt {
 		c.emitInterval(t)
 	}
 
@@ -856,13 +926,21 @@ func (c *Core) mark(t float64) {
 		c.freqIntegral[d] = 0
 		c.occupSum[d] = 0
 		c.ivTicks[d] = 0
+		c.ivStartEnergy[d] = c.meter.DomainPJ(clock.Domain(d))
+		c.ivStartClkPJ[d] = c.meter.DomainClockPJ(clock.Domain(d))
 	}
+	c.ivStartEv = c.eventCounts()
 }
 
 // ----------------------------------------------------------------- intervals
 
 func (c *Core) emitInterval(t float64) {
 	ivLen := c.opts.IntervalLength
+	sampling := c.opts.SampleEvery > 1
+	if sampling {
+		// Seed the fast-forward model before the accumulators roll over.
+		c.noteDetailInterval(t, ivLen)
+	}
 	iv := IntervalView{
 		Index:        c.ivIndex,
 		Instructions: ivLen,
@@ -881,12 +959,24 @@ func (c *Core) emitInterval(t float64) {
 	if dt := t - c.ivStart; dt > 0 {
 		iv.IPC = float64(ivLen) / (dt / 1000)
 	}
-	if c.opts.Controller != nil {
+	if sampling {
+		// Skipped intervals hold the last detailed interval's occupancy
+		// view in front of the controller.
+		c.detail.util = iv.QueueUtil
+		c.detail.qavg = iv.QueueAvg
+	}
+	// At exact fidelity on-line controllers adapt through warmup; at
+	// sampled fidelity warmup is left uncontrolled so the warmed state is
+	// controller-independent and checkpointed warmup reuse stays sound.
+	if c.opts.Controller != nil && (c.marked || c.opts.SampleEvery == 0) {
 		targets := c.opts.Controller.Observe(iv)
 		for d := 0; d < clock.NumControllable; d++ {
 			if targets[d] > 0 {
 				c.regs[d].SetTargetMHz(targets[d])
 			}
+		}
+		if sampling {
+			c.noteTargets(targets)
 		}
 	}
 	var siv stats.Interval
@@ -909,6 +999,14 @@ func (c *Core) emitInterval(t float64) {
 	c.ivIndex++
 	c.emitted++
 	c.nextIvAt += ivLen
+	if sampling {
+		for d := 0; d < clock.NumControllable; d++ {
+			c.ivStartEnergy[d] = c.meter.DomainPJ(clock.Domain(d))
+			c.ivStartClkPJ[d] = c.meter.DomainClockPJ(clock.Domain(d))
+		}
+		c.ivStartEv = c.eventCounts()
+		c.scheduleSkips()
+	}
 	// The observer runs after the counters roll over, so a Progress read
 	// from inside it counts the interval it is being shown.
 	if notify && c.opts.OnInterval != nil {

@@ -132,6 +132,7 @@ type Meter struct {
 	mcd      bool
 	domainPJ [clock.NumDomains]float64
 	clockPJ  float64
+	clockDom [clock.NumControllable]float64
 	accesses [NumComponents]uint64
 	byComp   [NumComponents]float64
 	// lastV/lastVS memoize the (V/Vnom)² factor: the pipeline charges
@@ -193,6 +194,15 @@ func (m *Meter) ClockTick(d clock.Domain, v float64, active bool) {
 	}
 	m.domainPJ[d] += e
 	m.clockPJ += e
+	m.clockDom[d] += e
+}
+
+// Inject credits pJ picojoules of pre-scaled energy directly to domain d.
+// The sampled fidelity tier uses it to charge analytically estimated
+// energy for fast-forwarded control intervals; the energy is already in
+// final units, so no voltage scaling or MCD factor applies here.
+func (m *Meter) Inject(d clock.Domain, pJ float64) {
+	m.domainPJ[d] += pJ
 }
 
 // TotalPJ returns total accumulated energy in picojoules.
@@ -209,6 +219,12 @@ func (m *Meter) DomainPJ(d clock.Domain) float64 { return m.domainPJ[d] }
 
 // ClockPJ returns the clock-distribution share of the total energy.
 func (m *Meter) ClockPJ() float64 { return m.clockPJ }
+
+// DomainClockPJ returns one controllable domain's clock-distribution
+// energy — the time-proportional part of DomainPJ(d), which the sampled
+// tier's energy extrapolation scales by estimated time rather than by
+// instruction count.
+func (m *Meter) DomainClockPJ(d clock.Domain) float64 { return m.clockDom[d] }
 
 // ComponentPJ returns the energy accumulated by one component.
 func (m *Meter) ComponentPJ(c Component) float64 { return m.byComp[c] }

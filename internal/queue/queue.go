@@ -165,6 +165,33 @@ func (q *IssueQueue) Push(e Entry) bool {
 	return true
 }
 
+// Clone returns a deep copy — an independent snapshot for checkpointed
+// warmup reuse.
+func (q *IssueQueue) Clone() *IssueQueue {
+	c := &IssueQueue{entries: make([]Entry, len(q.entries), q.cap), cap: q.cap}
+	copy(c.entries, q.entries)
+	return c
+}
+
+// CopyFrom restores src's exact state into the receiver, reusing its
+// backing array. Both queues must share a capacity.
+func (q *IssueQueue) CopyFrom(src *IssueQueue) {
+	q.entries = append(q.entries[:0], src.entries...)
+	q.cap = src.cap
+}
+
+// ShiftTimes adds dt to every resident entry's visibility time. The
+// sampled fidelity tier calls it (on every queue) when fast-forwarding
+// across a skipped interval: the pipeline is frozen, not drained, and
+// shifting the in-flight timestamps along with the clock lets detail
+// resume mid-steady-state instead of against a burst of stale-ready
+// work. Infinity sentinels are unaffected by the addition.
+func (q *IssueQueue) ShiftTimes(dt float64) {
+	for i := range q.entries {
+		q.entries[i].VisibleAt += dt
+	}
+}
+
 // SelectReady removes and returns up to max entries whose class is in
 // classes and that are ready under w, oldest first, appending to out.
 // The scan models the wakeup/select CAM: every resident entry is
@@ -311,6 +338,29 @@ func (r *CompletionRing) Reset() {
 	}
 }
 
+// Clone returns a deep copy for checkpointed warmup reuse.
+func (r *CompletionRing) Clone() *CompletionRing {
+	c := &CompletionRing{slots: make([]ringSlot, len(r.slots)), mask: r.mask}
+	copy(c.slots, r.slots)
+	return c
+}
+
+// CopyFrom restores src's exact state into the receiver, reusing its
+// backing array. Both rings must share a size.
+func (r *CompletionRing) CopyFrom(src *CompletionRing) {
+	copy(r.slots, src.slots)
+	r.mask = src.mask
+}
+
+// ShiftTimes adds dt to every slot's completion time, preserving each
+// producer's offset from the (fast-forwarded) clock. The ±Inf sentinels
+// (in flight / ancient history) are unaffected by the addition.
+func (r *CompletionRing) ShiftTimes(dt float64) {
+	for i := range r.slots {
+		r.slots[i].doneAt += dt
+	}
+}
+
 // Dispatch registers seq as in flight in the given domain.
 func (r *CompletionRing) Dispatch(seq uint64, domain uint8) {
 	r.slots[seq&r.mask] = ringSlot{
@@ -370,6 +420,29 @@ func (r *ROB) Len() int  { return r.size }
 func (r *ROB) Cap() int  { return len(r.buf) }
 func (r *ROB) Free() int { return len(r.buf) - r.size }
 
+// Clone returns a deep copy for checkpointed warmup reuse.
+func (r *ROB) Clone() *ROB {
+	c := &ROB{buf: make([]ROBEntry, len(r.buf)), head: r.head, size: r.size}
+	copy(c.buf, r.buf)
+	return c
+}
+
+// CopyFrom restores src's exact state into the receiver, reusing its
+// backing array. Both ROBs must share a capacity.
+func (r *ROB) CopyFrom(src *ROB) {
+	copy(r.buf, src.buf)
+	r.head, r.size = src.head, src.size
+}
+
+// ShiftTimes adds dt to every completion time in the buffer (stale slots
+// outside the live window included — they are never read). See
+// IssueQueue.ShiftTimes.
+func (r *ROB) ShiftTimes(dt float64) {
+	for i := range r.buf {
+		r.buf[i].DoneAt += dt
+	}
+}
+
 // Push appends an entry in program order, reporting false when full.
 func (r *ROB) Push(e ROBEntry) bool {
 	if r.size == len(r.buf) {
@@ -389,8 +462,11 @@ func (r *ROB) Head() *ROBEntry {
 }
 
 // Complete marks seq complete at time t. Entries are pushed with
-// consecutive seqs, so the slot is head + (seq − head.Seq); the final
-// seq check keeps any non-consecutive use falling back to a miss.
+// consecutive seqs, so the slot is head + (seq − head.Seq); when the
+// seqs are not consecutive — the sampled fidelity tier's fast-forward
+// leaves a seq gap between frozen in-flight entries and post-resume
+// dispatches — a bounded scan finds the entry instead. Exact runs never
+// take the scan, so the hot path is unchanged.
 func (r *ROB) Complete(seq uint64, t float64) {
 	if r.size == 0 {
 		return
@@ -399,13 +475,19 @@ func (r *ROB) Complete(seq uint64, t float64) {
 	if seq < head {
 		return
 	}
-	off := seq - head
-	if off >= uint64(r.size) {
-		return
+	if off := seq - head; off < uint64(r.size) {
+		e := &r.buf[(r.head+int(off))%len(r.buf)]
+		if e.Seq == seq {
+			e.DoneAt = t
+			return
+		}
 	}
-	e := &r.buf[(r.head+int(off))%len(r.buf)]
-	if e.Seq == seq {
-		e.DoneAt = t
+	for i := 0; i < r.size; i++ {
+		e := &r.buf[(r.head+i)%len(r.buf)]
+		if e.Seq == seq {
+			e.DoneAt = t
+			return
+		}
 	}
 }
 
@@ -469,6 +551,30 @@ func (l *LSQ) Reset(capacity, blockBytes int) {
 func (l *LSQ) Len() int  { return len(l.entries) }
 func (l *LSQ) Cap() int  { return l.cap }
 func (l *LSQ) Free() int { return l.cap - len(l.entries) }
+
+// Clone returns a deep copy for checkpointed warmup reuse.
+func (l *LSQ) Clone() *LSQ {
+	c := &LSQ{entries: make([]LSQEntry, len(l.entries), l.cap), cap: l.cap, blockBits: l.blockBits}
+	copy(c.entries, l.entries)
+	return c
+}
+
+// CopyFrom restores src's exact state into the receiver, reusing its
+// backing array. Both queues must share a capacity.
+func (l *LSQ) CopyFrom(src *LSQ) {
+	l.entries = append(l.entries[:0], src.entries...)
+	l.cap = src.cap
+	l.blockBits = src.blockBits
+}
+
+// ShiftTimes adds dt to every resident entry's visibility and completion
+// times. See IssueQueue.ShiftTimes.
+func (l *LSQ) ShiftTimes(dt float64) {
+	for i := range l.entries {
+		l.entries[i].VisibleAt += dt
+		l.entries[i].DoneAt += dt
+	}
+}
 
 // Push appends a memory op in program order, reporting false when full.
 func (l *LSQ) Push(e LSQEntry) bool {

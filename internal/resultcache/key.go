@@ -40,7 +40,14 @@ import (
 // encoding (schema order, resolved defaults) rather than ad-hoc
 // per-call construction, so v1 entries written by pre-registry binaries
 // must never satisfy registry-era requests.
-const specKeyVersion = "mcd-spec-v2"
+//
+// v3: sim.Spec gained the fidelity tier (Fidelity, SampleEvery). The
+// encoding writes a fidelity line unconditionally — normalized so ""
+// and "exact" (with any SampleEvery) encode identically, and sampled's
+// defaulted cadence encodes as its resolved value — which guarantees
+// sampled results can never collide with exact ones, and v2 exact
+// entries (which lack the line entirely) can never satisfy v3 requests.
+const specKeyVersion = "mcd-spec-v3"
 
 // ErrUncacheable reports a spec whose controller cannot be canonically
 // encoded: caching it would require proving two opaque controller
@@ -105,6 +112,16 @@ func SpecKeyExtra(s sim.Spec, extra string) (string, error) {
 		b.WriteString(Float(s.InitialFreqMHz[d]))
 	}
 	b.WriteByte('\n')
+
+	// Fidelity, normalized: exact ignores SampleEvery (encoded as 0) and
+	// sampled resolves its default cadence, so every spec spelling of the
+	// same computation encodes identically and distinct computations
+	// (exact vs any sampled cadence) never share a key.
+	mode := s.Fidelity
+	if mode == "" {
+		mode = sim.FidelityExact
+	}
+	fmt.Fprintf(&b, "fidelity|mode=%q|sample=%d\n", mode, s.EffectiveSampleEvery())
 
 	switch ctrl := s.Controller.(type) {
 	case nil:

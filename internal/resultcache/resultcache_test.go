@@ -68,6 +68,11 @@ func TestSpecKeyDeterministicAndSensitive(t *testing.T) {
 		"profile":    func(s *sim.Spec) { s.Profile.Seed++ },
 		"phase":      func(s *sim.Spec) { s.Profile.Phases[0].DepMean += 1 },
 		"controller": func(s *sim.Spec) { s.Controller = core.NewAttackDecay(core.DefaultParams()) },
+		"fidelity":   func(s *sim.Spec) { s.Fidelity = sim.FidelitySampled },
+		"sample": func(s *sim.Spec) {
+			s.Fidelity = sim.FidelitySampled
+			s.SampleEvery = sim.DefaultSampleEvery * 2
+		},
 	}
 	for label, mut := range muts {
 		m := testSpec(t, nil, "mcd-base")
@@ -120,7 +125,10 @@ func TestKeyCoversEveryField(t *testing.T) {
 		typ reflect.Type
 		n   int
 	}{
-		"sim.Spec":         {reflect.TypeOf(sim.Spec{}), 9},
+		// 10th/11th fields, Fidelity and SampleEvery: covered by the
+		// unconditional normalized fidelity line (see SpecKeyExtra),
+		// which forced the v2 → v3 version bump.
+		"sim.Spec":         {reflect.TypeOf(sim.Spec{}), 11},
 		"pipeline.Config":  {reflect.TypeOf(pipeline.Config{}), 29},
 		"workload.Profile": {reflect.TypeOf(workload.Profile{}), 5},
 		"workload.Phase":   {reflect.TypeOf(workload.Phase{}), 11},
@@ -134,14 +142,61 @@ func TestKeyCoversEveryField(t *testing.T) {
 		// as before, so every legacy address is preserved, and the
 		// suffix cannot collide with a legacy extra, which always ends
 		// in "cands=N". TestAdaptiveCacheExtraPreservesLegacyAddresses
-		// pins both halves.)
-		"core.OfflineOptions": {reflect.TypeOf(core.OfflineOptions{}), 9},
+		// pins both halves. 10th/11th fields, Fidelity and SampleEvery:
+		// deliberately NOT in CacheExtra — they are run-surface, not
+		// search-surface, and the outer spec's fidelity line already
+		// addresses them.)
+		"core.OfflineOptions": {reflect.TypeOf(core.OfflineOptions{}), 11},
 	}
 	for name, w := range want {
 		if n := w.typ.NumField(); n != w.n {
 			t.Errorf("%s has %d fields, encoder covers %d: extend the canonical encoding and bump specKeyVersion",
 				name, n, w.n)
 		}
+	}
+}
+
+// TestSpecKeyV3Migration pins the fidelity tier's addressing rules.
+// The recorded constant is the v2 ("mcd-spec-v2", no fidelity line)
+// address of the same base spec: a v3 binary must never produce it, so
+// stale pre-fidelity disk entries can never satisfy new requests. On
+// the v3 surface, exact is one computation however it is spelled
+// (empty or explicit fidelity, any SampleEvery — exact ignores it),
+// and each sampled cadence is a distinct one.
+func TestSpecKeyV3Migration(t *testing.T) {
+	const v2Key = "21877937e1fe69f6ff468a0c043cf40996f71def59feae08208fe8c9069e910d"
+	s := testSpec(t, nil, "mcd-base")
+	k, err := resultcache.SpecKey(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k == v2Key {
+		t.Error("v3 encoder reproduced the v2 address: stale entries would be served")
+	}
+
+	// Every spelling of exact addresses the same computation.
+	e := s
+	e.Fidelity = sim.FidelityExact
+	e.SampleEvery = 7
+	if ke, _ := resultcache.SpecKey(e); ke != k {
+		t.Error("explicit exact (with a stray SampleEvery) does not share the implicit exact address")
+	}
+
+	// Sampled never collides with exact; the defaulted cadence resolves
+	// to its effective value; distinct cadences are distinct addresses.
+	sm := s
+	sm.Fidelity = sim.FidelitySampled
+	kDef, _ := resultcache.SpecKey(sm)
+	if kDef == k {
+		t.Error("sampled shares the exact address")
+	}
+	sm.SampleEvery = sim.DefaultSampleEvery
+	if kRes, _ := resultcache.SpecKey(sm); kRes != kDef {
+		t.Error("defaulted cadence does not resolve to its effective value")
+	}
+	sm.SampleEvery = sim.DefaultSampleEvery * 2
+	if k2, _ := resultcache.SpecKey(sm); k2 == kDef {
+		t.Error("distinct sampled cadences share an address")
 	}
 }
 

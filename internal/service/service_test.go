@@ -140,6 +140,20 @@ func TestRunRejectsUnknownConfig(t *testing.T) {
 	}
 }
 
+func TestRunRejectsUnknownFidelity(t *testing.T) {
+	_, srv := newServer(t, service.Options{})
+	bad := small
+	bad.Fidelity = "turbo"
+	resp := postJSON(t, srv.URL+"/v1/runs", bad)
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "exact") || !strings.Contains(string(body), "sampled") {
+		t.Fatalf("error should list the valid fidelity set: %s", body)
+	}
+}
+
 func TestBatchJob(t *testing.T) {
 	_, srv := newServer(t, service.Options{Workers: 2})
 	reqs := []wire.RunRequest{small, {Benchmark: "adpcm", Config: "mcd", Window: 8_000, Warmup: wire.U64(4_000), Interval: wire.U64(250)}}

@@ -87,9 +87,19 @@ func open(s Spec) *Session {
 		Controller:      s.Controller,
 		InitialFreqMHz:  s.InitialFreqMHz,
 		RecordIntervals: s.RecordIntervals,
+		SampleEvery:     s.EffectiveSampleEvery(),
 		ConfigName:      s.Name,
 		OnInterval:      ses.onInterval,
 	})
+	if s.Sampled() {
+		// Checkpointed warmup reuse: restore the shared warmed prefix
+		// instead of re-simulating it. The restored core is byte-identical
+		// to one that warmed itself (the warm pin test asserts it), so the
+		// reuse is invisible to results.
+		if w := warmFor(s); w != nil {
+			ses.core.RestoreWarm(w)
+		}
+	}
 	return ses
 }
 

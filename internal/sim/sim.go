@@ -5,11 +5,40 @@
 package sim
 
 import (
+	"fmt"
+
 	"mcd/internal/clock"
 	"mcd/internal/pipeline"
 	"mcd/internal/stats"
 	"mcd/internal/workload"
 )
+
+// Fidelity tiers. Exact is the default cycle-by-cycle engine; sampled
+// simulates every Nth control interval in detail and fast-forwards the
+// rest with functional warming and an analytical time/energy model (see
+// pipeline's sampled tier and DESIGN.md "Fidelity tiers"). Exact results
+// are byte-identical with or without this field existing; sampled results
+// carry error bounds and live under distinct result-cache keys.
+const (
+	FidelityExact   = "exact"
+	FidelitySampled = "sampled"
+
+	// DefaultSampleEvery is the detailed-interval cadence used when a
+	// sampled spec leaves SampleEvery at zero.
+	DefaultSampleEvery = 10
+)
+
+// ParseFidelity normalizes a fidelity name ("" means exact) or reports
+// the valid set, mirroring the controller registry's error style.
+func ParseFidelity(s string) (string, error) {
+	switch s {
+	case "", FidelityExact:
+		return FidelityExact, nil
+	case FidelitySampled:
+		return FidelitySampled, nil
+	}
+	return "", fmt.Errorf("unknown fidelity %q (valid: %s, %s)", s, FidelityExact, FidelitySampled)
+}
 
 // Spec describes one simulation run.
 type Spec struct {
@@ -31,6 +60,29 @@ type Spec struct {
 	RecordIntervals bool
 	// Name labels the Result's Config field.
 	Name string
+	// Fidelity selects the simulation tier: "" or FidelityExact for the
+	// exact engine, FidelitySampled for interval sampling with
+	// checkpointed warmup reuse.
+	Fidelity string
+	// SampleEvery is the sampled tier's detailed-interval cadence (every
+	// Nth interval in detail); zero uses DefaultSampleEvery. Ignored at
+	// exact fidelity.
+	SampleEvery int
+}
+
+// Sampled reports whether the spec runs at sampled fidelity.
+func (s Spec) Sampled() bool { return s.Fidelity == FidelitySampled }
+
+// EffectiveSampleEvery returns the pipeline-level sampling cadence the
+// spec resolves to: 0 at exact fidelity, the defaulted cadence otherwise.
+func (s Spec) EffectiveSampleEvery() int {
+	if !s.Sampled() {
+		return 0
+	}
+	if s.SampleEvery <= 0 {
+		return DefaultSampleEvery
+	}
+	return s.SampleEvery
 }
 
 // Run executes the spec: a session opened, drained and closed. The

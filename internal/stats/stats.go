@@ -20,6 +20,12 @@ type Interval struct {
 	QueueAvg     [clock.NumControllable]float64 // mean occupancy per domain cycle
 	FreqMHz      [clock.NumControllable]float64
 	IPC          float64 // instructions per 1 GHz reference cycle
+	// Estimated marks intervals the sampled fidelity tier fast-forwarded
+	// analytically instead of simulating cycle by cycle; their time,
+	// occupancy and IPC are model extrapolations from the nearest detailed
+	// interval. Always false at exact fidelity (and omitted from JSON, so
+	// exact results stay byte-identical).
+	Estimated bool `json:",omitempty"`
 }
 
 // Result is the outcome of one simulation run.
@@ -37,6 +43,18 @@ type Result struct {
 	L1DMissRate    float64
 	L2MissRate     float64
 	Transitions    uint64 // PLL retarget count across domains
+
+	// Sampled-fidelity error accounting (zero, and omitted from JSON, at
+	// exact fidelity): the number of measured intervals simulated in
+	// detail vs fast-forwarded, and 95% confidence half-widths on CPI and
+	// EPI relative to their means, derived from the spread of the
+	// per-detailed-interval samples. They bound the sampling noise, not
+	// the analytical model's bias; mcdbench -validate-fidelity measures
+	// the latter against exact runs.
+	DetailedIntervals int     `json:",omitempty"`
+	SampledIntervals  int     `json:",omitempty"`
+	CPIErr95          float64 `json:",omitempty"`
+	EPIErr95          float64 `json:",omitempty"`
 
 	Intervals []Interval // populated when interval tracing is enabled
 }

@@ -8,6 +8,7 @@ import (
 
 	"mcd/internal/bench"
 	"mcd/internal/control"
+	"mcd/internal/sim"
 	"mcd/internal/stats"
 	"mcd/internal/workload"
 )
@@ -50,6 +51,12 @@ type ExperimentRequest struct {
 	// Benchmarks filters the catalog by name; empty means the scale's
 	// default set.
 	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Fidelity selects the simulation tier for every cell of the
+	// experiment ("" or "exact": the cycle-exact engine; "sampled":
+	// interval sampling with checkpointed warmup reuse). SampleEvery is
+	// the sampled tier's detailed-interval cadence (0: the default, 10).
+	Fidelity    string `json:"fidelity,omitempty"`
+	SampleEvery int    `json:"sample_every,omitempty"`
 
 	// Values overrides the swept x-axis values of any sweep-*
 	// experiment; empty keeps the figure's published set, or — for
@@ -81,6 +88,9 @@ func (e ExperimentRequest) Validate() error {
 		if _, ok := workload.Lookup(b); !ok {
 			return fmt.Errorf("unknown benchmark %q (see mcdbench -exp table5 for the catalog)", b)
 		}
+	}
+	if _, err := sim.ParseFidelity(e.Fidelity); err != nil {
+		return err
 	}
 	if e.Name == ExpSweepController {
 		if e.Controller == "" || e.Param == "" {
@@ -118,6 +128,10 @@ func (e ExperimentRequest) Options() bench.Options {
 	if len(e.Benchmarks) != 0 {
 		opts.Benchmarks = e.Benchmarks
 	}
+	if fid, err := sim.ParseFidelity(e.Fidelity); err == nil {
+		opts.Fidelity = fid
+	}
+	opts.SampleEvery = e.SampleEvery
 	return opts
 }
 

@@ -63,6 +63,8 @@ func CellRequest(c bench.Cell) RunRequest {
 		Warmup:       &warmup,
 		Interval:     &interval,
 		SlewNsPerMHz: &slew,
+		Fidelity:     c.Fidelity,
+		SampleEvery:  c.SampleEvery,
 	}
 }
 

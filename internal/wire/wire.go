@@ -64,6 +64,15 @@ type RunRequest struct {
 	Warmup       *uint64  `json:"warmup,omitempty"`          // default 200000
 	Interval     *uint64  `json:"interval,omitempty"`        // default 1000
 	SlewNsPerMHz *float64 `json:"slew_ns_per_mhz,omitempty"` // default 4.91
+	// Fidelity selects the simulation tier: "" or "exact" for the default
+	// cycle-exact engine, "sampled" for interval sampling with
+	// checkpointed warmup reuse (see GET /v1/controllers for the exact
+	// semantics; sampled results carry error-bound fields). Unknown names
+	// are rejected with the valid set.
+	Fidelity string `json:"fidelity,omitempty"`
+	// SampleEvery is the sampled tier's detailed-interval cadence; zero
+	// takes the default (10). Ignored at exact fidelity.
+	SampleEvery int `json:"sample_every,omitempty"`
 }
 
 // DefaultSlewNsPerMHz is the compressed-scale regulator slew a request
@@ -134,6 +143,10 @@ func (r RunRequest) controlRun() (control.Run, control.Resolved, error) {
 	if err != nil {
 		return control.Run{}, control.Resolved{}, err
 	}
+	fid, err := sim.ParseFidelity(r.Fidelity)
+	if err != nil {
+		return control.Run{}, control.Resolved{}, err
+	}
 	cfg := pipeline.DefaultConfig()
 	cfg.SlewNsPerMHz = *r.SlewNsPerMHz
 	return control.Run{
@@ -143,6 +156,8 @@ func (r RunRequest) controlRun() (control.Run, control.Resolved, error) {
 		Warmup:         *r.Warmup,
 		IntervalLength: *r.Interval,
 		Name:           r.ControllerName(),
+		Fidelity:       fid,
+		SampleEvery:    r.SampleEvery,
 	}, res, nil
 }
 

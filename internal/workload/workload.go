@@ -13,7 +13,11 @@
 // binary or from a trace.
 package workload
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"mcd/internal/xrand"
+)
 
 // Class categorizes an instruction by the resource that executes it.
 type Class uint8
@@ -199,6 +203,7 @@ type generator struct {
 	prof    Profile
 	window  uint64
 	rng     *rand.Rand
+	src     *xrand.Counting // rng's source; counted so state is checkpointable
 	seq     uint64
 	phases  []phaseState
 	phIdx   int
@@ -214,7 +219,10 @@ func (g *generator) Window() uint64 { return g.window }
 func (g *generator) Reset() {
 	seed := g.prof.Seed ^ 0x5eed
 	if g.rng == nil {
-		g.rng = rand.New(rand.NewSource(seed))
+		// The counting wrapper is stream-transparent; it exists so
+		// Checkpoint can capture the rng position (see xrand).
+		g.src = xrand.NewCounting(seed)
+		g.rng = rand.New(g.src)
 	} else {
 		// Re-seeding restores the exact state rand.New(NewSource(seed))
 		// constructs, without reallocating the source's state table.
@@ -405,4 +413,66 @@ func (g *generator) Next(in *Instr) bool {
 
 	g.seq++
 	return true
+}
+
+// GenState is a checkpoint of a generator's mutable state: stream
+// position, phase cursor, PC walk, stride streams, per-phase branch-site
+// counters, and the rng position (as a source call count — the rng is a
+// pure function of seed and call count, see xrand). The phase script
+// itself is immutable and rebuilt from the profile, so it is not part of
+// the checkpoint.
+type GenState struct {
+	Seq      uint64
+	PhIdx    int
+	PC       uint64
+	LastLd   uint64
+	Streams  [4]uint64
+	RngCalls uint64
+	Counters [][]uint16 // deep copy, one slice per phase
+}
+
+// Checkpointer is implemented by generators whose exact position can be
+// captured and restored — the mechanism behind checkpointed warmup
+// reuse. Restore(Checkpoint()) is an identity: the stream continues
+// exactly as it would have without the round trip.
+type Checkpointer interface {
+	Checkpoint() GenState
+	Restore(GenState)
+}
+
+// Checkpoint implements Checkpointer with deep-copied counters, so the
+// returned state stays valid after the generator advances.
+func (g *generator) Checkpoint() GenState {
+	s := GenState{
+		Seq:      g.seq,
+		PhIdx:    g.phIdx,
+		PC:       g.pc,
+		LastLd:   g.lastLd,
+		Streams:  g.streams,
+		RngCalls: g.src.Calls(),
+		Counters: make([][]uint16, len(g.phases)),
+	}
+	for i := range g.phases {
+		s.Counters[i] = append([]uint16(nil), g.phases[i].counters...)
+	}
+	return s
+}
+
+// Restore implements Checkpointer. The receiver must be a generator of
+// the same profile and window the checkpoint was captured from; the
+// phase script (a pure function of both) is kept, only mutable state is
+// overwritten. The checkpoint is copied from, never aliased, so one
+// GenState can seed many generators.
+func (g *generator) Restore(s GenState) {
+	g.seq = s.Seq
+	g.phIdx = s.PhIdx
+	g.pc = s.PC
+	g.lastLd = s.LastLd
+	g.streams = s.Streams
+	g.src.Restore(g.prof.Seed^0x5eed, s.RngCalls)
+	for i := range g.phases {
+		if i < len(s.Counters) {
+			copy(g.phases[i].counters, s.Counters[i])
+		}
+	}
 }

@@ -1,0 +1,60 @@
+// Package xrand wraps math/rand sources with a call counter so their
+// position in the stream can be captured and restored. math/rand's
+// rngSource has no exported state, but it is a pure function of (seed,
+// number of source calls): every Int63/Uint64 advances the feedback
+// register exactly once. Counting source calls therefore captures the
+// complete generator state in one uint64, and restoring is reseed +
+// discard — cheap relative to simulation, allocation-free, and exact.
+//
+// The wrapper is transparent: rand.Rand draws the same stream through a
+// Counting source as through the bare rand.NewSource, so wrapping an
+// existing generator changes no simulation output (the byte-identity
+// pins cover this).
+package xrand
+
+import "math/rand"
+
+// Counting is a rand.Source64 that counts how many times the underlying
+// source has been advanced since the last Seed.
+type Counting struct {
+	src rand.Source64
+	n   uint64
+}
+
+// NewCounting returns a counting wrapper over rand.NewSource(seed).
+func NewCounting(seed int64) *Counting {
+	return &Counting{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 implements rand.Source.
+func (c *Counting) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (c *Counting) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+// Seed implements rand.Source, resetting the call counter.
+func (c *Counting) Seed(seed int64) {
+	c.n = 0
+	c.src.Seed(seed)
+}
+
+// Calls returns how many times the source has advanced since Seed.
+func (c *Counting) Calls() uint64 { return c.n }
+
+// Restore reseeds and replays n source advances, leaving the wrapper in
+// exactly the state Calls()==n captured. Both Int63 and Uint64 advance
+// the underlying register once per call, so replaying with either is
+// equivalent; Uint64 is used.
+func (c *Counting) Restore(seed int64, n uint64) {
+	c.src.Seed(seed)
+	for i := uint64(0); i < n; i++ {
+		c.src.Uint64()
+	}
+	c.n = n
+}
